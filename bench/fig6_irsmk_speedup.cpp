@@ -1,0 +1,58 @@
+// Figure 6 — IRSmk: co-locate vs interleave speedups across input sizes
+// (medium/large) and execution configurations.
+#include "bench_common.hpp"
+
+using namespace drbw;
+using namespace drbw::bench;
+using workloads::PlacementMode;
+
+int main(int argc, char** argv) {
+  const auto harness = Harness::from_args(
+      argc, argv, "fig6_irsmk_speedup",
+      "Reproduces Fig. 6: IRSmk optimization speedups by input size");
+  if (!harness) return 0;
+
+  heading("Figure 6 — IRSmk speedups with different input sizes (§VIII-B)");
+
+  const std::vector<workloads::RunConfig> configs = {
+      {16, 4}, {32, 4}, {64, 4}, {24, 3}, {16, 2}, {32, 2}};
+  const std::vector<PlacementMode> modes = {PlacementMode::kColocate,
+                                            PlacementMode::kInterleave};
+
+  std::vector<std::vector<workloads::OptimizationStudy>> all;
+  for (const std::size_t input : {1u, 2u}) {  // medium, large
+    all.push_back(speedup_figure(*harness, "irsmk", input, configs, modes,
+                                 "IRSmk speedup"));
+  }
+  const auto& large_heavy = all[1][2];  // large, T64-N4
+  std::cout << "At large/T64-N4, co-location reduces remote DRAM accesses by "
+            << format_percent(large_heavy.remote_access_reduction(PlacementMode::kColocate))
+            << " and the average access latency by "
+            << format_percent(large_heavy.latency_reduction(PlacementMode::kColocate))
+            << ".\n\n";
+
+  paper_note("small inputs show no significant speedup; gains grow with "
+             "input size up to 6.2x.  With all four nodes and fewer than "
+             "eight threads per node interleave is slightly ahead; with "
+             "fewer nodes co-locate is clearly better.  Remote accesses "
+             "drop 72.5% and average latency 88.9% at large/T64-N4.");
+  measured_note("the same ordering reproduces: gains grow with input size, "
+                "co-locate ~ties interleave at 4-node configurations and "
+                "clearly wins at 2 nodes; remote accesses drop ~100% and "
+                "latency ~66%.  Peak speedup is ~2.5x rather than 6.2x — "
+                "the simulator's saturated channels serve work-conservingly, "
+                "which caps the original run's slowdown (see EXPERIMENTS.md).");
+
+  harness->maybe_csv([&](CsvWriter& csv) {
+    csv.write_row({"input", "config", "colocate", "interleave"});
+    const char* names[] = {"medium", "large"};
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      for (const auto& study : all[i]) {
+        csv.write_row({names[i], study.config.name(),
+                       format_fixed(study.speedup(PlacementMode::kColocate), 4),
+                       format_fixed(study.speedup(PlacementMode::kInterleave), 4)});
+      }
+    }
+  });
+  return 0;
+}

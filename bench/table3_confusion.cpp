@@ -1,0 +1,47 @@
+// Table III — confusion matrix of the decision tree under stratified
+// 10-fold cross-validation on the 192 training instances.
+#include "bench_common.hpp"
+
+#include "drbw/ml/metrics.hpp"
+
+using namespace drbw;
+using namespace drbw::bench;
+
+int main(int argc, char** argv) {
+  const auto harness = Harness::from_args(
+      argc, argv, "table3_confusion",
+      "Reproduces Table III: stratified 10-fold CV of the classifier");
+  if (!harness) return 0;
+
+  heading("Table III — confusion matrix for the training data (§V-D)");
+
+  workloads::TrainingOptions options;
+  options.seed = harness->seed;
+  const auto set = workloads::generate_training_set(harness->machine, options);
+  const auto data = set.dataset();
+
+  const auto cv = ml::stratified_kfold(data, 10, workloads::default_tree_params(),
+                                       harness->seed);
+  print_block(std::cout, cv.confusion.to_string());
+  const auto correct = cv.confusion.true_good + cv.confusion.true_rmc;
+  std::cout << "overall success rate: " << correct << "/"
+            << cv.confusion.total() << " ("
+            << format_percent(cv.accuracy) << ")\n";
+
+  std::cout << '\n';
+  paper_note("stratified 10-fold CV achieves 187/192 (97.4%): 118/120 good "
+             "and 69/72 rmc classified correctly.");
+  measured_note("this reproduction achieves " + std::to_string(correct) +
+                "/192 (" + format_percent(cv.accuracy) +
+                "); misclassification comes from the same deliberately "
+                "ambiguous boundary configurations.");
+
+  harness->maybe_csv([&](CsvWriter& csv) {
+    csv.write_row({"", "predicted_good", "predicted_rmc"});
+    csv.write_row({"actual_good", std::to_string(cv.confusion.true_good),
+                   std::to_string(cv.confusion.false_rmc)});
+    csv.write_row({"actual_rmc", std::to_string(cv.confusion.false_good),
+                   std::to_string(cv.confusion.true_rmc)});
+  });
+  return 0;
+}

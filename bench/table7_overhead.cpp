@@ -1,0 +1,65 @@
+// Table VII — DR-BW's runtime overhead on the six contended case-study
+// codes at 64 threads across four NUMA nodes: paired runs with and without
+// the profiler attached.
+#include "bench_common.hpp"
+
+using namespace drbw;
+using namespace drbw::bench;
+
+int main(int argc, char** argv) {
+  const auto harness = Harness::from_args(
+      argc, argv, "table7_overhead",
+      "Reproduces Table VII: profiling overhead of the six case studies");
+  if (!harness) return 0;
+
+  heading("Table VII — DR-BW's runtime overhead (§VIII, 64 threads / 4 nodes)");
+
+  const char* codes[] = {"irsmk", "amg2006", "streamcluster", "nw", "sp",
+                         "lulesh"};
+  workloads::EvaluationOptions options;
+  options.seed = harness->seed;
+
+  TablePrinter table({{"Code", Align::kLeft},
+                      {"without profiling (ms)", Align::kRight},
+                      {"with profiling (ms)", Align::kRight},
+                      {"overhead", Align::kRight}});
+  double sum = 0.0;
+  std::vector<workloads::OverheadResult> results;
+  for (const char* code : codes) {
+    const auto bench = workloads::make_suite_benchmark(code);
+    const auto r = workloads::measure_overhead(
+        harness->machine, *bench, bench->num_inputs() - 1,
+        workloads::RunConfig{64, 4}, options);
+    table.add_row({r.benchmark, format_fixed(r.baseline_seconds * 1e3, 3),
+                   format_fixed(r.profiled_seconds * 1e3, 3),
+                   (r.overhead_percent >= 0 ? "+" : "") +
+                       format_fixed(r.overhead_percent, 1) + "%"});
+    sum += r.overhead_percent;
+    results.push_back(r);
+  }
+  table.add_separator();
+  table.add_row({"Average", "-", "-",
+                 "+" + format_fixed(sum / std::size(codes), 1) + "%"});
+  print_block(std::cout, table.render());
+
+  std::cout << '\n';
+  paper_note("overheads range from -9.2% (Streamcluster: the profiler's "
+             "perturbation relieves contention) to +10.0% (LULESH), "
+             "averaging +3.3%.");
+  measured_note("overheads stay well inside the paper's <10% envelope.  In "
+                "this simulator, codes whose runtime is set by a saturated "
+                "channel absorb the per-sample cost entirely (time = bytes/"
+                "bandwidth), so their overhead reads ~0%; the serial-phase-"
+                "heavy AMG2006 shows the visible cost.  See EXPERIMENTS.md "
+                "for the deviation discussion.");
+
+  harness->maybe_csv([&](CsvWriter& csv) {
+    csv.write_row({"code", "baseline_s", "profiled_s", "overhead_pct"});
+    for (const auto& r : results) {
+      csv.write_row({r.benchmark, format_fixed(r.baseline_seconds, 6),
+                     format_fixed(r.profiled_seconds, 6),
+                     format_fixed(r.overhead_percent, 3)});
+    }
+  });
+  return 0;
+}

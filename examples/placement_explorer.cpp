@@ -1,0 +1,75 @@
+// Placement explorer: sweep any suite benchmark over placement policies and
+// Tt-Nn configurations, printing execution time, speedup, remote-access and
+// latency statistics — a what-if tool for NUMA placement decisions built on
+// the same substrate DR-BW itself uses.
+//
+// Usage: ./examples/placement_explorer --benchmark irsmk --input 2
+#include <iostream>
+
+#include "drbw/util/cli.hpp"
+#include "drbw/util/strings.hpp"
+#include "drbw/util/table.hpp"
+#include "drbw/workloads/evaluation.hpp"
+#include "drbw/workloads/suite.hpp"
+
+using namespace drbw;
+using workloads::PlacementMode;
+
+int main(int argc, char** argv) {
+  ArgParser parser("placement_explorer",
+                   "Sweep placement policies x configurations for a proxy "
+                   "benchmark");
+  parser.add_option("benchmark",
+                    "benchmark name (any Table V code, or lulesh)", "irsmk");
+  parser.add_option("input", "input index (0 = smallest)", "1");
+  parser.add_option("seed", "workload seed", "11");
+  parser.add_flag("replicate", "also sweep the replicate policy");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const topology::Machine machine = topology::Machine::xeon_e5_4650();
+  const auto bench = workloads::make_suite_benchmark(parser.option("benchmark"));
+  const auto input = static_cast<std::size_t>(parser.option_int("input"));
+  DRBW_CHECK_MSG(input < bench->num_inputs(),
+                 bench->name() << " has only " << bench->num_inputs()
+                               << " inputs");
+
+  std::vector<PlacementMode> modes = {PlacementMode::kOriginal,
+                                      PlacementMode::kInterleave,
+                                      PlacementMode::kColocate};
+  if (parser.flag("replicate")) modes.push_back(PlacementMode::kReplicate);
+
+  workloads::EvaluationOptions options;
+  options.seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+
+  std::cout << "Benchmark " << bench->name() << " (" << bench->suite()
+            << "), input '" << bench->input_name(input) << "'\n";
+  TablePrinter table({{"config", Align::kLeft},
+                      {"placement", Align::kLeft},
+                      {"time (ms)", Align::kRight},
+                      {"speedup", Align::kRight},
+                      {"remote DRAM accesses", Align::kRight},
+                      {"avg DRAM latency", Align::kRight}});
+  for (const auto& config : workloads::standard_configs()) {
+    const auto study =
+        workloads::study_optimization(machine, *bench, input, config, modes,
+                                      options);
+    for (const PlacementMode mode : modes) {
+      const auto& run = study.run(mode);
+      table.add_row(
+          {config.name(), workloads::placement_mode_name(mode),
+           format_fixed(static_cast<double>(run.total_cycles) /
+                            (machine.spec().ghz * 1e6), 2),
+           format_fixed(study.speedup(mode), 2) + "x",
+           format_count(static_cast<unsigned long long>(run.remote_dram_accesses)),
+           format_fixed(run.avg_dram_latency, 0) + " cyc"});
+    }
+    table.add_separator();
+  }
+  print_block(std::cout, table.render());
+  std::cout << "\nReading the table: 'original' is the program's own "
+               "allocation discipline; a big\ninterleave or co-locate speedup "
+               "means the original placement suffers remote\nbandwidth "
+               "contention (the paper's §VII-B ground-truth rule uses "
+               ">1.10x).\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Optimization-advice engine.
+//
+// DR-BW's value proposition is that the diagnosis leads directly to a fix
+// (§VI-B, §VIII): co-locate partitioned data with its computation,
+// replicate read-shared data, or interleave when nothing finer is
+// available.  This module turns a diagnosis into that recommendation by
+// inspecting, per top-CF object, the evidence the samples already carry:
+//
+//   * write fraction  — replication is only sound for data that is not
+//     written after initialization (the paper replicates Streamcluster's
+//     `block` precisely because "the data is never overwritten after the
+//     initialization");
+//   * accessing-node spread — data touched from one remote node wants
+//     migration/binding; data touched from every node wants co-location
+//     (if partitioned per thread) or replication (if read-shared);
+//   * address-sharing across threads — threads touching disjoint regions
+//     indicate a partitioned array (co-locate); threads overlapping on the
+//     same addresses indicate genuine sharing (replicate/interleave).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "drbw/core/profiler.hpp"
+#include "drbw/diagnoser/diagnoser.hpp"
+
+namespace drbw::diagnoser {
+
+enum class Remedy : std::uint8_t {
+  kColocate,    // partition-aligned placement at the allocation site
+  kReplicate,   // per-node shadow copies (read-only data)
+  kMigrate,     // bind to the single consuming node
+  kInterleave,  // balance when access is shared and written
+};
+
+const char* remedy_name(Remedy remedy);
+
+/// Evidence gathered for one data object from the contended channels.
+struct ObjectEvidence {
+  std::uint32_t object = core::kUnknownObject;
+  std::string site;
+  double cf = 0.0;
+  std::uint64_t samples = 0;
+  double write_fraction = 0.0;
+  /// Number of distinct accessing nodes observed.
+  int accessing_nodes = 0;
+  /// Fraction of the object's sampled 64 KiB regions touched by more than
+  /// one software thread (1.0 = fully shared, 0.0 = perfectly partitioned).
+  double shared_line_fraction = 0.0;
+};
+
+struct Advice {
+  ObjectEvidence evidence;
+  Remedy remedy = Remedy::kInterleave;
+  std::string rationale;
+};
+
+struct AdviceConfig {
+  /// Only objects at or above this CF are worth acting on.
+  double min_cf = 0.05;
+  /// Write fraction below which data counts as read-only (replicable).
+  double read_only_threshold = 0.02;
+  /// Shared-line fraction above which an object counts as genuinely shared.
+  double sharing_threshold = 0.25;
+};
+
+/// Collects per-object evidence over the contended channels of a profile.
+std::vector<ObjectEvidence> collect_evidence(
+    const core::ProfileResult& profile,
+    const std::vector<topology::ChannelId>& contended);
+
+/// Ranks the actionable objects and recommends a remedy for each.
+std::vector<Advice> advise(const core::ProfileResult& profile,
+                           const std::vector<topology::ChannelId>& contended,
+                           const AdviceConfig& config = {});
+
+/// Human-readable advice report.
+std::string render_advice(const std::vector<Advice>& advice);
+
+}  // namespace drbw::diagnoser

@@ -1,0 +1,104 @@
+// Extension (§IX): detecting *shared-cache* contention with the same
+// supervised methodology DR-BW uses for remote bandwidth.
+//
+// The paper's conclusion names this as future work: "we will extend DR-BW
+// to identify resource contention beyond memory bandwidth ... such as
+// contention in ... different level of caches".  This module realizes the
+// natural first step: per-NUMA-node detection of last-level-cache
+// contention — threads co-resident on a socket evicting one another's
+// working sets, which converts L3 hits into *local* DRAM accesses without
+// any remote traffic (so the bandwidth classifier rightly stays silent).
+//
+// The recipe mirrors §V exactly:
+//   * mini-programs ("cachemix") tuned so each thread's working set fits
+//     the L3 alone but not alongside its co-runners;
+//   * per-node statistics features from the same PEBS sample stream
+//     (L3-hit vs local-DRAM composition and latencies); and
+//   * a small decision tree trained on labelled runs.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "drbw/core/profiler.hpp"
+#include "drbw/ml/decision_tree.hpp"
+#include "drbw/workloads/benchmark.hpp"
+
+namespace drbw::ext {
+
+inline constexpr int kNumCacheFeatures = 7;
+
+/// Feature names for the per-node cache-contention vector.
+const std::array<std::string, kNumCacheFeatures>& cache_feature_names();
+
+struct NodeFeatures {
+  topology::NodeId node = 0;
+  std::array<double, kNumCacheFeatures> values{};
+  std::size_t node_samples = 0;
+
+  std::vector<double> as_row() const {
+    return std::vector<double>(values.begin(), values.end());
+  }
+};
+
+/// Per-node feature extraction: statistics over all samples issued by the
+/// node's CPUs.
+///   [0] # of L3-hit samples
+///   [1] # of local-DRAM samples
+///   [2] local-DRAM share of on-socket L3 traffic:  dram / (dram + l3)
+///   [3] average local-DRAM latency
+///   [4] average L3 latency
+///   [5] total # of samples
+///   [6] average latency
+std::vector<NodeFeatures> extract_node_features(
+    const core::ProfileResult& profile, const topology::Machine& machine);
+
+/// The tunable training mini-program: every thread repeatedly walks a
+/// private working set of `per_thread_bytes` randomly.  Alone each set is
+/// L3-resident; with enough co-runners on a socket they evict one another.
+workloads::ProxySpec cachemix_spec(std::uint64_t per_thread_bytes);
+
+struct CacheTrainingOptions {
+  std::uint64_t seed = 909;
+  sim::EngineConfig engine;
+  CacheTrainingOptions() { engine.epoch_cycles = 200'000; }
+};
+
+struct CacheTrainingInstance {
+  std::string config;
+  bool contended = false;  // label: cache contention ("lcc") vs good
+  NodeFeatures features;
+};
+
+/// Generates the labelled per-node training set (good: working sets fit
+/// even when shared; lcc: co-runners overflow the L3).
+std::vector<CacheTrainingInstance> generate_cache_training_set(
+    const topology::Machine& machine, const CacheTrainingOptions& options = {});
+
+/// Trains the cache-contention classifier from the generated set.
+ml::Classifier train_cache_classifier(const topology::Machine& machine,
+                                      std::uint64_t seed = 909);
+
+/// Per-node verdicts for a run.
+struct NodeVerdict {
+  topology::NodeId node = 0;
+  bool contended = false;
+  NodeFeatures features;
+};
+
+class CacheContentionDetector {
+ public:
+  CacheContentionDetector(const topology::Machine& machine,
+                          ml::Classifier model,
+                          std::size_t min_node_samples = 50);
+
+  std::vector<NodeVerdict> analyze(const core::ProfileResult& profile) const;
+
+ private:
+  const topology::Machine& machine_;
+  ml::Classifier model_;
+  std::size_t min_node_samples_;
+};
+
+}  // namespace drbw::ext

@@ -1,0 +1,61 @@
+// The candidate feature catalogue and the selection study of §V-B.
+//
+// DR-BW first derives a long list of candidate statistics from the raw
+// samples — identification counts (per CPU / thread / node), location
+// counts (per memory-hierarchy level), and latency statistics (ratios above
+// thresholds, per-level averages).  Each candidate is then scored by how
+// well it separates "good" from "rmc" runs of the training mini-programs;
+// only candidates with a significant separation across a majority of the
+// programs survive into Table I.  This module reproduces that study, which
+// is also how the paper discovered that some intuitively relevant events
+// (e.g. MEM_LOAD_UOPS_LLC_MISS_RETIRED.REMOTE_DRAM analogues) do *not*
+// discriminate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "drbw/core/profiler.hpp"
+
+namespace drbw::features {
+
+/// One named candidate statistic computed over a whole-run profile.
+struct CandidateValue {
+  std::string name;
+  std::string category;  // "identification" | "location" | "latency"
+  double value = 0.0;
+};
+
+/// Computes the full candidate list for one run.
+std::vector<CandidateValue> extract_candidates(const core::ProfileResult& profile);
+
+/// Names (stable order) of the candidate catalogue.
+std::vector<std::string> candidate_names();
+
+/// A labelled observation for the selection study.
+struct LabelledRun {
+  std::string program;                  // mini-program the run came from
+  bool rmc = false;                     // ground-truth label
+  std::vector<CandidateValue> values;
+};
+
+/// Separation score and verdict for one candidate feature.
+struct SelectionResult {
+  std::string name;
+  std::string category;
+  /// Fisher-style separation |mean_good - mean_rmc| / (sd_good + sd_rmc),
+  /// averaged over mini-programs.
+  double separation = 0.0;
+  /// Number of mini-programs where the separation clears the threshold.
+  int programs_separated = 0;
+  int programs_total = 0;
+  bool selected = false;
+};
+
+/// Scores every candidate over the labelled runs.  A candidate is selected
+/// when its per-program separation exceeds `min_separation` in a strict
+/// majority of mini-programs that exhibit both classes.
+std::vector<SelectionResult> select_features(const std::vector<LabelledRun>& runs,
+                                             double min_separation = 1.0);
+
+}  // namespace drbw::features

@@ -1,0 +1,67 @@
+// The 13 selected features of Table I.
+//
+// Feature semantics (indices match the paper's Table I, 1-based there):
+//   [0]  Ratio of latency above 1000 cycles among all samples
+//   [1]  Ratio of latency above 500
+//   [2]  Ratio of latency above 200
+//   [3]  Ratio of latency above 100
+//   [4]  Ratio of latency above 50
+//   [5]  # of remote-DRAM access samples
+//   [6]  Average remote-DRAM access latency
+//   [7]  # of local-DRAM access samples
+//   [8]  Average local-DRAM access latency
+//   [9]  Total # of memory access samples
+//   [10] Average memory access latency
+//   [11] Total # of line-fill-buffer access samples
+//   [12] Average line-fill-buffer access latency
+//
+// Extraction operates on an *analysis scope*:
+//   * whole run  — a training instance (each Table II row is one run), or
+//   * one directed remote channel — the detection unit (§IV-B).  For the
+//     channel (i -> j) the scope is all samples issued from node i, with
+//     the remote-DRAM statistics (features 6-7) restricted to samples whose
+//     data lives on node j — the traffic actually on that channel.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "drbw/core/profiler.hpp"
+#include "drbw/topology/machine.hpp"
+
+namespace drbw::features {
+
+inline constexpr int kNumSelected = 13;
+
+/// Table I descriptions, index-aligned with FeatureVector::values.
+const std::array<std::string, kNumSelected>& selected_feature_names();
+
+/// Short machine-readable names ("lat_ratio_1000", "remote_dram_count", ...).
+const std::array<std::string, kNumSelected>& selected_feature_keys();
+
+struct FeatureVector {
+  std::array<double, kNumSelected> values{};
+  /// Number of samples in the scope (diagnostic; equals values[9]).
+  std::size_t scope_samples = 0;
+
+  std::vector<double> as_row() const {
+    return std::vector<double>(values.begin(), values.end());
+  }
+};
+
+/// Features of one remote channel, ready for classification.
+struct ChannelFeatures {
+  topology::ChannelId channel;
+  FeatureVector features;
+};
+
+/// Whole-run scope: one vector over every sample of the profile.
+FeatureVector extract_run(const core::ProfileResult& profile);
+
+/// Per-channel scope for every remote channel of the machine, in channel
+/// index order.
+std::vector<ChannelFeatures> extract_channels(const core::ProfileResult& profile,
+                                              const topology::Machine& machine);
+
+}  // namespace drbw::features

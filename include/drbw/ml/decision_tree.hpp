@@ -1,0 +1,105 @@
+// CART decision tree (Gini impurity) — the classifier of §V-D.
+//
+// The paper trains a binary decision tree in MATLAB's Statistics & ML
+// toolbox; the resulting model (Fig. 3) uses two of the thirteen selected
+// features: the number of remote-DRAM samples and the average remote-DRAM
+// latency.  We implement CART from scratch: exhaustive threshold search
+// over sorted feature values, Gini impurity gain, depth/leaf-size/gain
+// stopping rules, and optional cost-complexity-style collapse of pure
+// subtrees.  Trees operate on *normalized* inputs (Fig. 3's thresholds are
+// over normalized values); the Classifier wrapper below bundles the
+// normalizer with the tree and persists both as one JSON document.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "drbw/ml/dataset.hpp"
+#include "drbw/util/json.hpp"
+
+namespace drbw::ml {
+
+struct TreeParams {
+  int max_depth = 8;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  double min_gini_gain = 1e-4;
+};
+
+class DecisionTree {
+ public:
+  struct Node {
+    /// Split feature index; -1 for leaves.
+    int feature = -1;
+    /// Branch right when value > threshold, else left (Fig. 3 convention:
+    /// "branching is to the right if the normalized value ... is above a
+    /// threshold").
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    /// Leaf payload.
+    Label label = Label::kGood;
+    /// Training-set statistics for introspection.
+    std::size_t count = 0;
+    std::size_t rmc_count = 0;
+
+    bool is_leaf() const { return feature < 0; }
+  };
+
+  /// Trains on already-normalized rows.
+  static DecisionTree train(const Dataset& normalized, TreeParams params = {});
+
+  Label predict(const std::vector<double>& normalized_row) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int depth() const;
+  std::size_t leaf_count() const;
+  /// Distinct features used by internal nodes, ascending.
+  std::vector<int> used_features() const;
+
+  /// Fig. 3-style rendering: internal nodes labelled with features, leaves
+  /// with classifications.
+  std::string to_string(const std::vector<std::string>& feature_names) const;
+
+  Json to_json() const;
+  static DecisionTree from_json(const Json& json);
+
+ private:
+  int build(const Dataset& data, const std::vector<std::size_t>& indices,
+            const TreeParams& params, int depth);
+  int add_leaf(const Dataset& data, const std::vector<std::size_t>& indices);
+
+  std::vector<Node> nodes_;
+};
+
+/// The deployable model: normalizer + tree + feature names.
+class Classifier {
+ public:
+  Classifier() = default;
+  Classifier(Normalizer normalizer, DecisionTree tree,
+             std::vector<std::string> feature_names);
+
+  /// Fits the normalizer on `data`, then trains the tree on the
+  /// normalized rows.
+  static Classifier train(const Dataset& data, TreeParams params = {});
+
+  Label predict(const std::vector<double>& raw_row) const;
+
+  const DecisionTree& tree() const { return tree_; }
+  const Normalizer& normalizer() const { return normalizer_; }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+  std::string describe() const;
+
+  Json to_json() const;
+  static Classifier from_json(const Json& json);
+  void save(const std::string& path) const;
+  static Classifier load(const std::string& path);
+
+ private:
+  Normalizer normalizer_;
+  DecisionTree tree_;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace drbw::ml

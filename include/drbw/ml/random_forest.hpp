@@ -1,0 +1,61 @@
+// Bagged random forest — an ablation comparator for the paper's single
+// decision tree.
+//
+// §V-D motivates the decision tree by its interpretability (Fig. 3 is
+// printed in the paper).  A natural question is how much accuracy that
+// choice costs; this forest answers it: bootstrap-resampled trees over
+// random feature subsets, majority vote.  `bench/ablation_classifier`
+// compares the two under the same stratified cross-validation.
+#pragma once
+
+#include "drbw/ml/decision_tree.hpp"
+#include "drbw/ml/metrics.hpp"
+
+namespace drbw::ml {
+
+struct ForestParams {
+  int num_trees = 25;
+  /// Features considered per split-search tree: 0 = sqrt(#features).
+  int features_per_tree = 0;
+  TreeParams tree;
+  std::uint64_t seed = 1;
+
+  ForestParams() {
+    // Individual trees are grown deeper than Fig. 3's tree; bagging
+    // controls the variance.
+    tree.max_depth = 6;
+    tree.min_samples_leaf = 1;
+    tree.min_samples_split = 2;
+  }
+};
+
+/// A bagged ensemble of CART trees over min-max-normalized inputs.
+class RandomForest {
+ public:
+  /// Trains on raw rows (fits its own normalizer, like ml::Classifier).
+  static RandomForest train(const Dataset& data, ForestParams params = {});
+
+  Label predict(const std::vector<double>& raw_row) const;
+  /// Fraction of trees voting rmc, in [0, 1].
+  double vote_fraction(const std::vector<double>& raw_row) const;
+
+  std::size_t size() const { return trees_.size(); }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+ private:
+  Normalizer normalizer_;
+  std::vector<DecisionTree> trees_;
+  /// Per-tree feature subset: maps the tree's column index to the dataset's.
+  std::vector<std::vector<std::size_t>> feature_maps_;
+  std::vector<std::string> feature_names_;
+};
+
+/// Evaluates a forest the way ml::evaluate does a Classifier.
+ConfusionMatrix evaluate_forest(const RandomForest& model, const Dataset& data);
+
+/// Stratified k-fold CV for the forest (mirrors ml::stratified_kfold).
+CrossValidationResult stratified_kfold_forest(const Dataset& data, int folds,
+                                              ForestParams params,
+                                              std::uint64_t seed);
+
+}  // namespace drbw::ml

@@ -1,0 +1,42 @@
+// Sample-trace persistence.
+//
+// The real DR-BW collects PEBS records during the monitored run and
+// analyzes them offline.  This module provides that decoupling for the
+// reproduction: a run's sample stream plus its allocation events can be
+// written to a compact CSV-based trace and re-analyzed later (or on a
+// different machine description) without re-simulating.  The format is
+// line-oriented and versioned:
+//
+//   #drbw-trace v1
+//   A,<site>,<base>,<size>          allocation event
+//   F,<base>                        free event
+//   S,<addr>,<cpu>,<tid>,<level>,<latency>,<w>,<cycle>   sample
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "drbw/mem/address_space.hpp"
+#include "drbw/pebs/sample.hpp"
+
+namespace drbw::pebs {
+
+struct Trace {
+  std::vector<mem::AllocationEvent> events;
+  std::vector<MemorySample> samples;
+};
+
+/// Writes a trace; events come first so replay order matches collection.
+void write_trace(std::ostream& os, const Trace& trace);
+void save_trace(const std::string& path, const Trace& trace);
+
+/// Parses a trace; throws drbw::Error on malformed or wrong-version input.
+Trace read_trace(std::istream& is);
+Trace load_trace(const std::string& path);
+
+/// Level <-> trace-token conversion (exposed for tests).
+const char* level_token(MemLevel level);
+MemLevel level_from_token(const std::string& token);
+
+}  // namespace drbw::pebs

@@ -1,0 +1,34 @@
+// Markdown report generation.
+//
+// Turns a DrBw::Report (and optionally a windowed timeline) into a
+// self-contained Markdown document: machine summary, per-channel verdict
+// table, Contribution-Fraction ranking with bars, optimization advice, and
+// the contention timeline.  This is the artifact a tool user files with a
+// performance bug: everything needed to justify the fix in one page.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "drbw/drbw.hpp"
+
+namespace drbw::report {
+
+struct ReportMeta {
+  std::string title = "DR-BW analysis";
+  std::string workload;   // e.g. "streamcluster native T32-N4"
+  std::string notes;      // free-form context
+};
+
+/// Renders the full analysis as Markdown.
+std::string to_markdown(const Report& result, const topology::Machine& machine,
+                        const ReportMeta& meta = {});
+
+/// Renders a windowed timeline section (append to the main document).
+std::string timeline_markdown(const std::vector<WindowVerdict>& windows,
+                              const topology::Machine& machine);
+
+/// Convenience: write a document to a file (throws drbw::Error on failure).
+void write_file(const std::string& path, const std::string& markdown);
+
+}  // namespace drbw::report

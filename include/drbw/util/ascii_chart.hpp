@@ -1,0 +1,45 @@
+// Terminal bar charts for the figure-reproduction benches.
+//
+// The paper's Figures 4-8 are bar charts (CF distributions and speedup
+// comparisons).  The bench binaries print them as horizontal ASCII bars so a
+// reader can compare shapes against the paper without a plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace drbw {
+
+/// One bar in a chart: label, numeric value, and the series it belongs to
+/// (series share a glyph so grouped charts read like the paper's legends).
+struct Bar {
+  std::string label;
+  double value = 0.0;
+  std::size_t series = 0;
+};
+
+/// Renders horizontal bars scaled to `max_width` characters.  Values may be
+/// any nonnegative magnitude (CF fractions, speedup factors); the axis is
+/// annotated with the maximum.  Distinct series use distinct fill glyphs.
+class BarChart {
+ public:
+  explicit BarChart(std::string value_caption, int max_width = 50);
+
+  void add(Bar bar);
+  /// Convenience for single-series charts.
+  void add(std::string label, double value);
+
+  /// Names the series for the legend (index-aligned with Bar::series).
+  void set_series_names(std::vector<std::string> names);
+
+  std::string render() const;
+  std::string render_titled(const std::string& title) const;
+
+ private:
+  std::string value_caption_;
+  int max_width_;
+  std::vector<Bar> bars_;
+  std::vector<std::string> series_names_;
+};
+
+}  // namespace drbw

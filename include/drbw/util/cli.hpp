@@ -1,0 +1,54 @@
+// Command-line parsing for example binaries and bench harnesses.
+//
+// The harnesses are run without arguments in CI (`for b in build/bench/*; do
+// $b; done`), so every option has a default; flags exist to redirect CSV
+// artifacts, change seeds, or shrink workloads for smoke runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace drbw {
+
+/// Declarative option registry + parser for `--name value` / `--flag` style
+/// arguments.  Unknown options are an error; `--help` prints usage and
+/// signals the caller to exit.
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  ArgParser& add_flag(const std::string& name, const std::string& help);
+  ArgParser& add_option(const std::string& name, const std::string& help,
+                        const std::string& default_value);
+
+  /// Parses argv.  Returns false when `--help` was requested (usage has been
+  /// printed); throws drbw::Error on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  const std::string& option(const std::string& name) const;
+  std::int64_t option_int(const std::string& name) const;
+  double option_double(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string default_value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Spec>> specs_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+
+  const Spec* find_spec(const std::string& name) const;
+};
+
+}  // namespace drbw

@@ -1,0 +1,33 @@
+// Minimal CSV emission for experiment artifacts.
+//
+// Each bench binary can optionally mirror its table/figure data to CSV so
+// downstream plotting (outside this repo) can regenerate the paper's figures
+// graphically.  Quoting follows RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace drbw {
+
+/// Streams rows to an underlying std::ostream.  The writer does not own the
+/// stream; typical use is a std::ofstream scoped by the harness.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row, quoting fields that contain commas/quotes/newlines.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric payload rows: label followed by doubles.
+  void write_row(const std::string& label, const std::vector<double>& values,
+                 int decimals = 6);
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace drbw

@@ -1,0 +1,54 @@
+// Error handling primitives shared by every DR-BW module.
+//
+// The library reports programmer and configuration errors through
+// drbw::Error (derived from std::runtime_error) so that callers can catch a
+// single exception type at the API boundary.  The DRBW_CHECK family is used
+// for precondition checks that must stay enabled in release builds; they are
+// cheap (a predicted branch) and guard the analytic models against
+// out-of-domain inputs that would silently produce garbage.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace drbw {
+
+/// Exception type thrown by all DR-BW components on invalid input or state.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DRBW_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace drbw
+
+/// Precondition check that remains active in release builds.
+#define DRBW_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::drbw::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+    }                                                                        \
+  } while (0)
+
+/// Precondition check with a formatted message streamed after the condition.
+#define DRBW_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream drbw_check_os_;                                     \
+      drbw_check_os_ << msg; /* NOLINT */                                    \
+      ::drbw::detail::throw_check_failure(#expr, __FILE__, __LINE__,         \
+                                          drbw_check_os_.str());             \
+    }                                                                        \
+  } while (0)

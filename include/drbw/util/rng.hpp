@@ -1,0 +1,138 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything in DR-BW's reproduction pipeline must be reproducible run to
+// run: the simulator, the PEBS sampling decisions, and the training-set
+// generation all consume randomness from explicitly seeded xoshiro256**
+// streams.  We implement the generator ourselves (rather than using
+// std::mt19937) because xoshiro256** is measurably faster in the access-
+// generation hot loop and its SplitMix64 seeding gives well-decorrelated
+// per-thread streams from consecutive seeds.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "drbw/util/error.hpp"
+
+namespace drbw {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Also a perfectly serviceable standalone generator for cheap hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — public-domain algorithm by Blackman & Vigna.
+/// Satisfies UniformRandomBitGenerator so it can feed <random> distributions
+/// where convenient, though the member helpers below avoid that overhead.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).  53 mantissa bits of entropy.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) {
+    DRBW_CHECK(bound > 0);
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) *
+            static_cast<unsigned __int128>(bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    DRBW_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (the simulator draws these rarely —
+  /// only for latency jitter — so the sqrt/log cost is irrelevant).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    // Avoid log(0); uniform() can return exactly 0.
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Log-normal draw parameterized by the *target* median and a shape
+  /// sigma; used for memory-latency jitter, which is right-skewed on real
+  /// hardware just as it is here.
+  double lognormal_median(double median, double sigma) {
+    DRBW_CHECK(median > 0.0);
+    return median * std::exp(normal(0.0, sigma));
+  }
+
+  /// Exponential draw with the given mean.
+  double exponential(double mean) {
+    DRBW_CHECK(mean > 0.0);
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Derives an independent stream for a worker identified by `index`.
+  /// Streams from distinct indices are decorrelated by SplitMix64 mixing.
+  Rng fork(std::uint64_t index) const {
+    std::uint64_t mix = state_[0] ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    return Rng(splitmix64(mix));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace drbw

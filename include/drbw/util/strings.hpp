@@ -1,0 +1,35 @@
+// Small string helpers used across the report/IO layers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drbw {
+
+/// Splits `s` on `delim`; adjacent delimiters produce empty fields
+/// (CSV-style semantics).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats a double with `decimals` fixed digits (locale-independent).
+std::string format_fixed(double value, int decimals);
+
+/// Formats a ratio as a percentage string, e.g. 0.0421 -> "4.2%".
+std::string format_percent(double ratio, int decimals = 1);
+
+/// Renders large counts with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string format_count(unsigned long long n);
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view s);
+
+}  // namespace drbw

@@ -1,0 +1,146 @@
+// The proxy-benchmark framework.
+//
+// Every real benchmark the paper evaluates (NPB, PARSEC, Rodinia, Sequoia,
+// LULESH) is reproduced as a *proxy spec*: its data objects (sizes, roles,
+// allocation discipline) and its phase structure (which arrays each phase
+// touches, with what pattern and intensity).  The specs encode each code's
+// published memory behaviour — e.g. Streamcluster's `block` array is
+// master-allocated and randomly read by every thread; NPB codes use
+// parallel first-touch initialization so their partitioned arrays end up
+// co-located; SP keeps its fields in statically allocated global arrays the
+// tool cannot track.  A single builder materializes a spec under any
+// (input, Tt-Nn config, placement mode) triple into engine phases.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "drbw/mem/address_space.hpp"
+#include "drbw/sim/engine.hpp"
+#include "drbw/workloads/config.hpp"
+
+namespace drbw::workloads {
+
+/// How an array is owned and accessed.
+enum class ArrayRole {
+  /// Each thread works on its contiguous share (OpenMP parallel-for).
+  kPartitioned,
+  /// Every thread accesses the whole array (shared, read-mostly).
+  kShared,
+  /// Statically allocated globals: real data traffic, but invisible to the
+  /// heap tracker (SP, parts of LULESH).
+  kStatic,
+};
+
+struct ArrayDecl {
+  std::string site;     // allocation-site label, e.g. "amg2006.c:981 RAP_diag_j"
+  std::uint64_t bytes;  // at input scale 1.0
+  ArrayRole role = ArrayRole::kPartitioned;
+  /// Node the original (master-thread / loader) allocation lands on.  The
+  /// bandit places its huge pages on an explicit remote node (§V-A2).
+  topology::NodeId bind_node = 0;
+};
+
+/// One array's use within a phase.
+struct ArrayUse {
+  std::string site;
+  /// Fraction of the phase's accesses that go to this array.
+  double weight = 1.0;
+  sim::Pattern pattern = sim::Pattern::kSequential;
+  bool write = false;
+  std::uint32_t stride_bytes = 8;
+  std::uint32_t elem_bytes = 8;
+  /// Parallel chase streams (kPointerChaseConflict only).
+  std::uint32_t streams = 1;
+  /// Access the whole array even if it is partitioned (all-to-all phases
+  /// such as FT's transpose or UA's irregular mesh walks).
+  bool across = false;
+};
+
+struct PhaseSpec {
+  std::string name;
+  /// Fraction of the benchmark's total accesses spent in this phase.
+  double accesses_fraction = 1.0;
+  std::vector<ArrayUse> uses;
+  /// Serial phase executed by thread 0 only (e.g. master initialization —
+  /// which is precisely what first-touches everything onto node 0).
+  bool master_only = false;
+  /// Per-phase arithmetic intensity override; 0 inherits the spec's
+  /// compute_cpa (an FFT's transpose issues far fewer flops per byte than
+  /// its butterfly phases, for example).
+  double compute_cpa = 0.0;
+};
+
+struct ProxySpec {
+  std::string name;
+  std::string suite;
+  /// Input names and their scale factors (bytes and accesses both scale).
+  std::vector<std::pair<std::string, double>> inputs;
+  std::vector<ArrayDecl> arrays;
+  std::vector<PhaseSpec> phases;
+  /// Total dynamic accesses at scale 1.0, split across threads and phases.
+  std::uint64_t base_accesses = 30'000'000;
+  /// Non-memory compute cycles per access (arithmetic intensity).
+  double compute_cpa = 1.0;
+  /// true: the original code allocates on the master thread, so every page
+  /// lands on node 0 (the paper's problematic layout).  false: the code
+  /// initializes in parallel and first-touch already co-locates partitioned
+  /// arrays.
+  bool master_alloc = true;
+  /// Sites to fix in kColocate mode (empty = all partitioned heap arrays).
+  std::vector<std::string> colocate_sites;
+  /// Sites replicated in kReplicate mode (read-shared data).
+  std::vector<std::string> replicate_sites;
+};
+
+struct BuiltWorkload {
+  std::vector<sim::SimThread> threads;
+  std::vector<sim::Phase> phases;
+};
+
+/// A runnable benchmark: mini-program or Table V proxy.
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+  virtual const std::string& name() const = 0;
+  virtual const std::string& suite() const = 0;
+  virtual std::size_t num_inputs() const = 0;
+  virtual std::string input_name(std::size_t input) const = 0;
+  /// Allocates the benchmark's data in `space` and lays out its phases for
+  /// the given configuration and placement mode.
+  virtual BuiltWorkload build(mem::AddressSpace& space,
+                              const topology::Machine& machine,
+                              const RunConfig& config, PlacementMode mode,
+                              std::size_t input) const = 0;
+};
+
+/// Spec-driven benchmark implementation (used by the whole Table V suite).
+class ProxyBenchmark final : public Benchmark {
+ public:
+  explicit ProxyBenchmark(ProxySpec spec);
+
+  const std::string& name() const override { return spec_.name; }
+  const std::string& suite() const override { return spec_.suite; }
+  std::size_t num_inputs() const override { return spec_.inputs.size(); }
+  std::string input_name(std::size_t input) const override;
+  BuiltWorkload build(mem::AddressSpace& space,
+                      const topology::Machine& machine, const RunConfig& config,
+                      PlacementMode mode, std::size_t input) const override;
+
+  const ProxySpec& spec() const { return spec_; }
+
+ private:
+  mem::PlacementSpec placement_for(const ArrayDecl& array,
+                                   const RunConfig& config,
+                                   PlacementMode mode) const;
+
+  ProxySpec spec_;
+};
+
+/// Runs a built workload and returns the engine accounting.
+sim::RunResult execute(const topology::Machine& machine,
+                       mem::AddressSpace& space, const BuiltWorkload& built,
+                       const sim::EngineConfig& engine_config);
+
+}  // namespace drbw::workloads

@@ -1,0 +1,80 @@
+// Training-set generation (§V-A, §V-C — Table II).
+//
+// Reproduces the paper's data collection: each mini-program runs under a
+// matrix of problem sizes, thread counts, and thread-to-node bindings, in
+// either "good" or "rmc" mode; the profiler collects every run's samples in
+// a single execution and the Table I statistics become one labelled
+// training instance.  The composition matches Table II exactly:
+//
+//     sumv   24 good + 24 rmc
+//     dotv   24 good + 24 rmc
+//     countv 24 good + 24 rmc
+//     bandit 48 good
+//     total  192 instances (120 good, 72 rmc)
+//
+// The "good" vector-op runs use parallel first-touch placement, including
+// configurations that saturate a *local* memory controller — high latency
+// with no remote contention — which is what forces the learned tree onto
+// the remote-specific features (the paper observed the same effect when
+// rejecting candidate events that measure consumption, not contention).
+// Labels come from run construction, exactly like the paper's manual
+// labelling of tuned configurations; the simulator's channel-utilization
+// oracle is recorded alongside for *validation only* and never used as a
+// model input.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "drbw/features/candidates.hpp"
+#include "drbw/features/selected.hpp"
+#include "drbw/ml/decision_tree.hpp"
+#include "drbw/sim/engine.hpp"
+#include "drbw/workloads/benchmark.hpp"
+
+namespace drbw::workloads {
+
+struct TrainingInstance {
+  std::string program;  // sumv / dotv / countv / bandit
+  std::string config;   // human-readable run description
+  bool rmc = false;     // label (run construction)
+  features::FeatureVector features;
+  std::vector<features::CandidateValue> candidates;  // when requested
+  /// Oracle: peak utilization over remote channels (validation only).
+  double peak_remote_utilization = 0.0;
+};
+
+struct TrainingSet {
+  std::vector<TrainingInstance> instances;
+
+  /// Table I feature rows ready for ml::Classifier::train.
+  ml::Dataset dataset() const;
+  /// Candidate observations for the §V-B selection study.
+  std::vector<features::LabelledRun> labelled_runs() const;
+  /// (program -> {good, rmc}) counts, Table II's rows.
+  std::vector<std::tuple<std::string, int, int>> composition() const;
+};
+
+struct TrainingOptions {
+  std::uint64_t seed = 2017;
+  /// Also compute the candidate catalogue per run (slower; needed only for
+  /// the Table I selection study).
+  bool with_candidates = false;
+  sim::EngineConfig engine;  // epoch size etc.; profiling stays on
+
+  TrainingOptions() { engine.epoch_cycles = 200'000; }
+};
+
+/// Runs all 192 mini-program configurations on the machine and collects the
+/// labelled training set.
+TrainingSet generate_training_set(const topology::Machine& machine,
+                                  const TrainingOptions& options = {});
+
+/// Convenience: generate + train the deployable classifier.
+ml::Classifier train_default_classifier(const topology::Machine& machine,
+                                        std::uint64_t seed = 2017);
+
+/// The tree parameters used for the paper-sized training set.
+ml::TreeParams default_tree_params();
+
+}  // namespace drbw::workloads

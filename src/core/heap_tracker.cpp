@@ -1,0 +1,55 @@
+#include "drbw/core/heap_tracker.hpp"
+
+#include <algorithm>
+
+namespace drbw::core {
+
+std::uint32_t HeapTracker::intern_site(const std::string& site) {
+  const auto it = by_site_.find(site);
+  if (it != by_site_.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(objects_.size());
+  objects_.push_back(TrackedObject{site, 0, 0, 0, 0});
+  by_site_.emplace(site, index);
+  return index;
+}
+
+void HeapTracker::on_event(const mem::AllocationEvent& event) {
+  if (event.kind == mem::AllocationEvent::Kind::kAlloc) {
+    const std::uint32_t obj = intern_site(event.site.label);
+    TrackedObject& tracked = objects_[obj];
+    tracked.live_bytes += event.size_bytes;
+    tracked.peak_bytes = std::max(tracked.peak_bytes, tracked.live_bytes);
+    ++tracked.allocations;
+    ranges_[event.base] = Range{event.base + event.size_bytes, obj};
+    return;
+  }
+  // Free: the wrapper sees only the pointer; match it to the recorded base.
+  const auto it = ranges_.find(event.base);
+  DRBW_CHECK_MSG(it != ranges_.end(),
+                 "free of untracked pointer 0x" << std::hex << event.base);
+  TrackedObject& tracked = objects_[it->second.object];
+  const std::uint64_t bytes = it->second.end - event.base;
+  DRBW_CHECK(tracked.live_bytes >= bytes);
+  tracked.live_bytes -= bytes;
+  ++tracked.frees;
+  ranges_.erase(it);
+}
+
+void HeapTracker::on_events(const std::vector<mem::AllocationEvent>& events) {
+  for (const auto& event : events) on_event(event);
+}
+
+std::uint32_t HeapTracker::object_of(mem::Addr addr) const {
+  auto it = ranges_.upper_bound(addr);
+  if (it == ranges_.begin()) return kUnknownObject;
+  --it;
+  if (addr >= it->second.end) return kUnknownObject;
+  return it->second.object;
+}
+
+const TrackedObject& HeapTracker::object(std::uint32_t index) const {
+  DRBW_CHECK_MSG(index < objects_.size(), "unknown tracked object " << index);
+  return objects_[index];
+}
+
+}  // namespace drbw::core

@@ -1,0 +1,49 @@
+#include "drbw/core/profiler.hpp"
+
+namespace drbw::core {
+
+Profiler::Profiler(const topology::Machine& machine, PageLocator& locator)
+    : machine_(machine), locator_(locator) {}
+
+ProfileResult Profiler::profile(const sim::RunResult& run) const {
+  return profile(run.alloc_events, run.samples);
+}
+
+ProfileResult Profiler::profile(
+    const std::vector<mem::AllocationEvent>& events,
+    const std::vector<pebs::MemorySample>& samples) const {
+  ProfileResult result;
+  result.channels.resize(static_cast<std::size_t>(machine_.num_channels()));
+  for (int i = 0; i < machine_.num_channels(); ++i) {
+    result.channels[static_cast<std::size_t>(i)].channel = machine_.channel_at(i);
+  }
+  result.tracker.on_events(events);
+
+  for (const pebs::MemorySample& sample : samples) {
+    AttributedSample attributed;
+    attributed.sample = sample;
+    attributed.src_node = machine_.node_of_cpu(sample.cpu);
+    attributed.home_node = locator_.locate(sample.address, attributed.src_node);
+    attributed.object = result.tracker.object_of(sample.address);
+
+    const int index = machine_.channel_index(
+        topology::ChannelId{attributed.src_node, attributed.home_node});
+    if (attributed.object != kUnknownObject) ++result.attributed_samples;
+    ++result.total_samples;
+    result.channels[static_cast<std::size_t>(index)].samples.push_back(
+        attributed);
+  }
+  return result;
+}
+
+std::vector<const AttributedSample*> ProfileResult::samples_from(
+    topology::NodeId src) const {
+  std::vector<const AttributedSample*> out;
+  for (const ChannelProfile& channel : channels) {
+    if (channel.channel.src != src) continue;
+    for (const AttributedSample& s : channel.samples) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace drbw::core

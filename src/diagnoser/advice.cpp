@@ -1,0 +1,141 @@
+#include "drbw/diagnoser/advice.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "drbw/util/strings.hpp"
+
+namespace drbw::diagnoser {
+
+const char* remedy_name(Remedy remedy) {
+  switch (remedy) {
+    case Remedy::kColocate: return "co-locate";
+    case Remedy::kReplicate: return "replicate";
+    case Remedy::kMigrate: return "migrate";
+    case Remedy::kInterleave: return "interleave";
+  }
+  return "?";
+}
+
+std::vector<ObjectEvidence> collect_evidence(
+    const core::ProfileResult& profile,
+    const std::vector<topology::ChannelId>& contended) {
+  struct Accum {
+    std::uint64_t samples = 0;
+    std::uint64_t writes = 0;
+    std::set<topology::NodeId> nodes;
+    /// 64 KiB region -> set of software threads seen touching it.  Region
+    /// granularity (not cache lines): at a 1/2000 sampling rate two
+    /// threads essentially never sample the same line, but partitioned
+    /// arrays keep whole regions single-threaded while shared arrays mix
+    /// threads within every region.
+    std::map<mem::Addr, std::set<std::uint32_t>> region_threads;
+  };
+  std::map<std::uint32_t, Accum> per_object;
+  std::uint64_t total = 0;
+
+  for (const topology::ChannelId want : contended) {
+    for (const core::ChannelProfile& channel : profile.channels) {
+      if (!(channel.channel == want)) continue;
+      for (const core::AttributedSample& s : channel.samples) {
+        ++total;
+        if (s.object == core::kUnknownObject) continue;
+        Accum& acc = per_object[s.object];
+        ++acc.samples;
+        acc.writes += s.sample.is_write ? 1 : 0;
+        acc.nodes.insert(s.src_node);
+        acc.region_threads[s.sample.address >> 16].insert(s.sample.tid);
+      }
+    }
+  }
+
+  std::vector<ObjectEvidence> out;
+  for (const auto& [object, acc] : per_object) {
+    ObjectEvidence e;
+    e.object = object;
+    e.site = profile.tracker.object(object).site;
+    e.samples = acc.samples;
+    e.cf = total > 0 ? static_cast<double>(acc.samples) /
+                           static_cast<double>(total)
+                     : 0.0;
+    e.write_fraction = acc.samples > 0
+                           ? static_cast<double>(acc.writes) /
+                                 static_cast<double>(acc.samples)
+                           : 0.0;
+    e.accessing_nodes = static_cast<int>(acc.nodes.size());
+    std::size_t shared_regions = 0;
+    for (const auto& [region, threads] : acc.region_threads) {
+      if (threads.size() > 1) ++shared_regions;
+    }
+    e.shared_line_fraction =
+        acc.region_threads.empty()
+            ? 0.0
+            : static_cast<double>(shared_regions) /
+                  static_cast<double>(acc.region_threads.size());
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObjectEvidence& a, const ObjectEvidence& b) {
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return a.site < b.site;
+            });
+  return out;
+}
+
+std::vector<Advice> advise(const core::ProfileResult& profile,
+                           const std::vector<topology::ChannelId>& contended,
+                           const AdviceConfig& config) {
+  std::vector<Advice> out;
+  for (ObjectEvidence& e : collect_evidence(profile, contended)) {
+    if (e.cf < config.min_cf) continue;
+    Advice advice;
+    std::ostringstream why;
+    if (e.accessing_nodes <= 1) {
+      advice.remedy = Remedy::kMigrate;
+      why << "accessed from a single remote node; bind the allocation to "
+             "that node (numa_alloc_onnode)";
+    } else if (e.shared_line_fraction >= config.sharing_threshold) {
+      if (e.write_fraction <= config.read_only_threshold) {
+        advice.remedy = Remedy::kReplicate;
+        why << "read-shared by " << e.accessing_nodes
+            << " nodes and (almost) never written — per-node shadow "
+               "replicas make every access local";
+      } else {
+        advice.remedy = Remedy::kInterleave;
+        why << "shared AND written (" << format_percent(e.write_fraction)
+            << " writes) — replication would need coherence; interleave "
+               "the pages to balance the load";
+      }
+    } else {
+      advice.remedy = Remedy::kColocate;
+      why << "threads touch disjoint regions — split the allocation and "
+             "co-locate each segment with its computation";
+    }
+    advice.rationale = why.str();
+    advice.evidence = std::move(e);
+    out.push_back(std::move(advice));
+  }
+  return out;
+}
+
+std::string render_advice(const std::vector<Advice>& advice) {
+  std::ostringstream os;
+  if (advice.empty()) {
+    os << "No heap object carries enough of the contended traffic to act "
+          "on (statics/stack suspected - consider numactl --interleave).\n";
+    return os.str();
+  }
+  os << "Optimization guidance (highest Contribution Fraction first):\n";
+  for (const Advice& a : advice) {
+    os << "  * " << a.evidence.site << "  [CF "
+       << format_percent(a.evidence.cf) << ", writes "
+       << format_percent(a.evidence.write_fraction) << ", "
+       << a.evidence.accessing_nodes << " accessing node(s)]\n"
+       << "      -> " << remedy_name(a.remedy) << ": " << a.rationale << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace drbw::diagnoser

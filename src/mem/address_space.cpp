@@ -1,0 +1,264 @@
+#include "drbw/mem/address_space.hpp"
+
+#include <algorithm>
+
+namespace drbw::mem {
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kBind: return "bind";
+    case Placement::kFirstTouch: return "first-touch";
+    case Placement::kInterleave: return "interleave";
+    case Placement::kColocate: return "co-locate";
+    case Placement::kReplicate: return "replicate";
+  }
+  return "?";
+}
+
+PlacementSpec PlacementSpec::bind(topology::NodeId node) {
+  PlacementSpec s;
+  s.policy = Placement::kBind;
+  s.bind_node = node;
+  return s;
+}
+
+PlacementSpec PlacementSpec::first_touch() {
+  PlacementSpec s;
+  s.policy = Placement::kFirstTouch;
+  return s;
+}
+
+PlacementSpec PlacementSpec::interleave(std::vector<topology::NodeId> nodes) {
+  PlacementSpec s;
+  s.policy = Placement::kInterleave;
+  s.interleave_nodes = std::move(nodes);
+  return s;
+}
+
+PlacementSpec PlacementSpec::colocate(std::vector<topology::NodeId> segment_nodes) {
+  PlacementSpec s;
+  s.policy = Placement::kColocate;
+  s.segment_nodes = std::move(segment_nodes);
+  return s;
+}
+
+PlacementSpec PlacementSpec::replicate() {
+  PlacementSpec s;
+  s.policy = Placement::kReplicate;
+  return s;
+}
+
+AddressSpace::AddressSpace(const topology::Machine& machine)
+    : machine_(machine),
+      page_bytes_(machine.spec().page_bytes),
+      // Start well above zero so null/small pointers are always unmapped.
+      next_base_(0x10000000ULL) {}
+
+ObjectId AddressSpace::allocate(const std::string& site_label,
+                                std::uint64_t bytes,
+                                const PlacementSpec& placement) {
+  const ObjectId id = allocate_impl(site_label, bytes, placement, /*is_heap=*/true);
+  const Region& region = region_of(id);
+  pending_events_.push_back(AllocationEvent{AllocationEvent::Kind::kAlloc,
+                                            region.object.site,
+                                            region.object.base, bytes});
+  return id;
+}
+
+ObjectId AddressSpace::allocate_static(const std::string& site_label,
+                                       std::uint64_t bytes,
+                                       const PlacementSpec& placement) {
+  return allocate_impl(site_label, bytes, placement, /*is_heap=*/false);
+}
+
+ObjectId AddressSpace::allocate_impl(const std::string& site_label,
+                                     std::uint64_t bytes,
+                                     const PlacementSpec& placement,
+                                     bool is_heap) {
+  DRBW_CHECK_MSG(bytes > 0, "zero-byte allocation at " << site_label);
+  Region region;
+  region.object.id = static_cast<ObjectId>(regions_.size());
+  region.object.site = AllocationSite{site_label};
+  region.object.base = next_base_;
+  region.object.size_bytes = bytes;
+  region.object.placement = placement;
+  region.object.is_heap = is_heap;
+
+  const std::uint64_t pages = (bytes + page_bytes_ - 1) / page_bytes_;
+  region.page_home.assign(pages, kUnassigned);
+  assign_initial_homes(region);
+
+  next_base_ += pages * page_bytes_;
+  // Guard page gap: adjacent objects never share a page, so page-granular
+  // home lookups are unambiguous (real allocators give no such guarantee,
+  // but PEBS attribution in the paper is byte-granular anyway).
+  next_base_ += page_bytes_;
+
+  by_base_.emplace(region.object.base, region.object.id);
+  regions_.push_back(std::move(region));
+  return regions_.back().object.id;
+}
+
+void AddressSpace::assign_initial_homes(Region& region) {
+  const PlacementSpec& p = region.object.placement;
+  const int nodes = machine_.num_nodes();
+  switch (p.policy) {
+    case Placement::kBind: {
+      DRBW_CHECK_MSG(p.bind_node >= 0 && p.bind_node < nodes,
+                     "bind node " << p.bind_node << " out of range");
+      std::fill(region.page_home.begin(), region.page_home.end(),
+                static_cast<std::int16_t>(p.bind_node));
+      break;
+    }
+    case Placement::kFirstTouch:
+      // Homes stay kUnassigned until resolve_home() observes a touch.
+      break;
+    case Placement::kInterleave: {
+      std::vector<topology::NodeId> set = p.interleave_nodes;
+      if (set.empty()) {
+        for (int n = 0; n < nodes; ++n) set.push_back(n);
+      }
+      for (topology::NodeId n : set) {
+        DRBW_CHECK_MSG(n >= 0 && n < nodes, "interleave node " << n << " out of range");
+      }
+      for (std::size_t i = 0; i < region.page_home.size(); ++i) {
+        region.page_home[i] =
+            static_cast<std::int16_t>(set[i % set.size()]);
+      }
+      break;
+    }
+    case Placement::kColocate: {
+      DRBW_CHECK_MSG(!p.segment_nodes.empty(),
+                     "co-locate placement needs segment homes");
+      const std::size_t pages = region.page_home.size();
+      const std::size_t segments = p.segment_nodes.size();
+      for (std::size_t i = 0; i < pages; ++i) {
+        // Segment of this page by proportional split over the page range.
+        const std::size_t seg = std::min(i * segments / pages, segments - 1);
+        const topology::NodeId n = p.segment_nodes[seg];
+        DRBW_CHECK_MSG(n >= 0 && n < nodes, "segment node " << n << " out of range");
+        region.page_home[i] = static_cast<std::int16_t>(n);
+      }
+      break;
+    }
+    case Placement::kReplicate:
+      // Page homes are irrelevant; resolution is always the accessing node.
+      std::fill(region.page_home.begin(), region.page_home.end(),
+                static_cast<std::int16_t>(0));
+      break;
+  }
+}
+
+void AddressSpace::free(ObjectId id) {
+  Region& region = region_of(id);
+  DRBW_CHECK_MSG(region.object.alive, "double free of object " << id);
+  DRBW_CHECK_MSG(region.object.is_heap, "free of non-heap object " << id);
+  region.object.alive = false;
+  pending_events_.push_back(AllocationEvent{AllocationEvent::Kind::kFree,
+                                            region.object.site,
+                                            region.object.base,
+                                            region.object.size_bytes});
+}
+
+AddressSpace::Region& AddressSpace::region_of(ObjectId id) {
+  DRBW_CHECK_MSG(id < regions_.size(), "unknown object id " << id);
+  return regions_[id];
+}
+
+const AddressSpace::Region& AddressSpace::region_of(ObjectId id) const {
+  DRBW_CHECK_MSG(id < regions_.size(), "unknown object id " << id);
+  return regions_[id];
+}
+
+const DataObject* AddressSpace::object_at(Addr addr) const {
+  auto it = by_base_.upper_bound(addr);
+  if (it == by_base_.begin()) return nullptr;
+  --it;
+  const Region& region = regions_[it->second];
+  if (addr >= region.object.base + region.object.size_bytes) return nullptr;
+  if (!region.object.alive) return nullptr;
+  return &region.object;
+}
+
+const DataObject& AddressSpace::object(ObjectId id) const {
+  return region_of(id).object;
+}
+
+topology::NodeId AddressSpace::resolve_home(Addr addr,
+                                            topology::NodeId accessing_node) {
+  const DataObject* obj = object_at(addr);
+  DRBW_CHECK_MSG(obj != nullptr, "access to unmapped address 0x" << std::hex << addr);
+  Region& region = regions_[obj->id];
+  if (region.object.placement.policy == Placement::kReplicate) {
+    return accessing_node;
+  }
+  const std::size_t page = (addr - region.object.base) / page_bytes_;
+  std::int16_t& home = region.page_home[page];
+  if (home == kUnassigned) home = static_cast<std::int16_t>(accessing_node);
+  return home;
+}
+
+std::optional<topology::NodeId> AddressSpace::peek_home(
+    Addr addr, topology::NodeId accessing_node) const {
+  const DataObject* obj = object_at(addr);
+  if (obj == nullptr) return std::nullopt;
+  const Region& region = regions_[obj->id];
+  if (region.object.placement.policy == Placement::kReplicate) {
+    return accessing_node;
+  }
+  const std::size_t page = (addr - region.object.base) / page_bytes_;
+  const std::int16_t home = region.page_home[page];
+  if (home == kUnassigned) return std::nullopt;
+  return static_cast<topology::NodeId>(home);
+}
+
+std::vector<double> AddressSpace::touch_and_home_fractions(
+    ObjectId id, std::uint64_t offset_bytes, std::uint64_t span_bytes,
+    topology::NodeId accessing_node) {
+  Region& region = region_of(id);
+  DRBW_CHECK_MSG(region.object.alive, "access to freed object " << id);
+  DRBW_CHECK_MSG(span_bytes > 0, "empty span");
+  DRBW_CHECK_MSG(offset_bytes + span_bytes <= region.object.size_bytes,
+                 "range [" << offset_bytes << ", " << offset_bytes + span_bytes
+                           << ") exceeds object of " << region.object.size_bytes
+                           << " bytes");
+  std::vector<double> fractions(static_cast<std::size_t>(machine_.num_nodes()),
+                                0.0);
+  if (region.object.placement.policy == Placement::kReplicate) {
+    fractions[static_cast<std::size_t>(accessing_node)] = 1.0;
+    return fractions;
+  }
+  const std::size_t first_page = offset_bytes / page_bytes_;
+  const std::size_t last_page = (offset_bytes + span_bytes - 1) / page_bytes_;
+  for (std::size_t page = first_page; page <= last_page; ++page) {
+    std::int16_t& home = region.page_home[page];
+    if (home == kUnassigned) home = static_cast<std::int16_t>(accessing_node);
+    fractions[static_cast<std::size_t>(home)] += 1.0;
+  }
+  const auto pages = static_cast<double>(last_page - first_page + 1);
+  for (double& f : fractions) f /= pages;
+  return fractions;
+}
+
+std::vector<AllocationEvent> AddressSpace::drain_events() {
+  std::vector<AllocationEvent> out;
+  out.swap(pending_events_);
+  return out;
+}
+
+std::vector<std::uint64_t> AddressSpace::resident_bytes_per_node() const {
+  std::vector<std::uint64_t> bytes(static_cast<std::size_t>(machine_.num_nodes()), 0);
+  for (const Region& region : regions_) {
+    if (!region.object.alive) continue;
+    if (region.object.placement.policy == Placement::kReplicate) {
+      for (auto& b : bytes) b += region.object.size_bytes;
+      continue;
+    }
+    for (std::int16_t home : region.page_home) {
+      if (home != kUnassigned) bytes[static_cast<std::size_t>(home)] += page_bytes_;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace drbw::mem

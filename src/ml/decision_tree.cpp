@@ -1,0 +1,291 @@
+#include "drbw/ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace drbw::ml {
+
+namespace {
+
+double gini(std::size_t rmc, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(rmc) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+int DecisionTree::add_leaf(const Dataset& data,
+                           const std::vector<std::size_t>& indices) {
+  Node leaf;
+  leaf.count = indices.size();
+  for (const std::size_t i : indices) {
+    if (data.label(i) == Label::kRmc) ++leaf.rmc_count;
+  }
+  leaf.label = 2 * leaf.rmc_count > leaf.count ? Label::kRmc : Label::kGood;
+  nodes_.push_back(leaf);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int DecisionTree::build(const Dataset& data,
+                        const std::vector<std::size_t>& indices,
+                        const TreeParams& params, int depth) {
+  std::size_t rmc = 0;
+  for (const std::size_t i : indices) {
+    if (data.label(i) == Label::kRmc) ++rmc;
+  }
+  const double parent_gini = gini(rmc, indices.size());
+  if (depth >= params.max_depth || indices.size() < params.min_samples_split ||
+      parent_gini == 0.0) {
+    return add_leaf(data, indices);
+  }
+
+  // Exhaustive CART split search: for every feature, sort the rows and try
+  // the midpoint between each pair of adjacent distinct values.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = params.min_gini_gain;
+  const std::size_t n = indices.size();
+
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    std::vector<std::pair<double, bool>> values;  // (value, is_rmc)
+    values.reserve(n);
+    for (const std::size_t i : indices) {
+      values.emplace_back(data.row(i)[f], data.label(i) == Label::kRmc);
+    }
+    std::sort(values.begin(), values.end());
+
+    std::size_t left_n = 0, left_rmc = 0;
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      ++left_n;
+      left_rmc += values[k].second ? 1 : 0;
+      if (values[k].first == values[k + 1].first) continue;  // no boundary
+      const std::size_t right_n = n - left_n;
+      if (left_n < params.min_samples_leaf || right_n < params.min_samples_leaf) {
+        continue;
+      }
+      const std::size_t right_rmc = rmc - left_rmc;
+      const double weighted =
+          (static_cast<double>(left_n) * gini(left_rmc, left_n) +
+           static_cast<double>(right_n) * gini(right_rmc, right_n)) /
+          static_cast<double>(n);
+      const double gain = parent_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (values[k].first + values[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return add_leaf(data, indices);
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (const std::size_t i : indices) {
+    // Fig. 3 convention: right when above the threshold.
+    (data.row(i)[static_cast<std::size_t>(best_feature)] > best_threshold
+         ? right_idx
+         : left_idx)
+        .push_back(i);
+  }
+
+  // Reserve our slot before recursing so child indices are stable.
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(self)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(self)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(self)].count = indices.size();
+  nodes_[static_cast<std::size_t>(self)].rmc_count = rmc;
+  const int left = build(data, left_idx, params, depth + 1);
+  const int right = build(data, right_idx, params, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+DecisionTree DecisionTree::train(const Dataset& normalized, TreeParams params) {
+  DRBW_CHECK_MSG(normalized.size() > 0, "cannot train on empty dataset");
+  DRBW_CHECK_MSG(params.max_depth >= 1, "max_depth must be >= 1");
+  DRBW_CHECK_MSG(params.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+  DecisionTree tree;
+  std::vector<std::size_t> all(normalized.size());
+  std::iota(all.begin(), all.end(), 0);
+  tree.build(normalized, all, params, 0);
+  return tree;
+}
+
+Label DecisionTree::predict(const std::vector<double>& row) const {
+  DRBW_CHECK_MSG(!nodes_.empty(), "predict on untrained tree");
+  int at = 0;
+  while (!nodes_[static_cast<std::size_t>(at)].is_leaf()) {
+    const Node& node = nodes_[static_cast<std::size_t>(at)];
+    DRBW_CHECK_MSG(static_cast<std::size_t>(node.feature) < row.size(),
+                   "row too short for tree feature " << node.feature);
+    at = row[static_cast<std::size_t>(node.feature)] > node.threshold
+             ? node.right
+             : node.left;
+  }
+  return nodes_[static_cast<std::size_t>(at)].label;
+}
+
+int DecisionTree::depth() const {
+  // Longest root-to-leaf path in *edges*: a lone leaf has depth 0, and a
+  // trained tree's depth never exceeds TreeParams::max_depth.
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const auto [at, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[static_cast<std::size_t>(at)];
+    if (!node.is_leaf()) {
+      stack.emplace_back(node.left, d + 1);
+      stack.emplace_back(node.right, d + 1);
+    }
+  }
+  return max_depth;
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  std::size_t leaves = 0;
+  for (const Node& node : nodes_) leaves += node.is_leaf() ? 1 : 0;
+  return leaves;
+}
+
+std::vector<int> DecisionTree::used_features() const {
+  std::set<int> used;
+  for (const Node& node : nodes_) {
+    if (!node.is_leaf()) used.insert(node.feature);
+  }
+  return std::vector<int>(used.begin(), used.end());
+}
+
+namespace {
+
+void render(const std::vector<DecisionTree::Node>& nodes, int at,
+            const std::vector<std::string>& names, const std::string& prefix,
+            const std::string& branch, std::ostringstream& os) {
+  const auto& node = nodes[static_cast<std::size_t>(at)];
+  os << prefix << branch;
+  if (node.is_leaf()) {
+    os << "[" << label_name(node.label) << "]  (" << node.count
+       << " training samples, " << node.rmc_count << " rmc)\n";
+    return;
+  }
+  const std::string name =
+      static_cast<std::size_t>(node.feature) < names.size()
+          ? names[static_cast<std::size_t>(node.feature)]
+          : "f" + std::to_string(node.feature);
+  os << name << " > " << node.threshold << " ?\n";
+  const std::string child_prefix = prefix + (branch.empty() ? "" : "    ");
+  render(nodes, node.left, names, child_prefix, "no  -> ", os);
+  render(nodes, node.right, names, child_prefix, "yes -> ", os);
+}
+
+}  // namespace
+
+std::string DecisionTree::to_string(
+    const std::vector<std::string>& feature_names) const {
+  std::ostringstream os;
+  render(nodes_, 0, feature_names, "", "", os);
+  return os.str();
+}
+
+Json DecisionTree::to_json() const {
+  JsonArray nodes;
+  for (const Node& n : nodes_) {
+    Json j;
+    j.set("feature", n.feature);
+    j.set("threshold", n.threshold);
+    j.set("left", n.left);
+    j.set("right", n.right);
+    j.set("label", n.label == Label::kRmc ? "rmc" : "good");
+    j.set("count", n.count);
+    j.set("rmc_count", n.rmc_count);
+    nodes.push_back(std::move(j));
+  }
+  Json out;
+  out.set("nodes", Json(std::move(nodes)));
+  return out;
+}
+
+DecisionTree DecisionTree::from_json(const Json& json) {
+  DecisionTree tree;
+  for (const Json& j : json.at("nodes").as_array()) {
+    Node n;
+    n.feature = static_cast<int>(j.at("feature").as_int());
+    n.threshold = j.at("threshold").as_number();
+    n.left = static_cast<int>(j.at("left").as_int());
+    n.right = static_cast<int>(j.at("right").as_int());
+    n.label = j.at("label").as_string() == "rmc" ? Label::kRmc : Label::kGood;
+    n.count = static_cast<std::size_t>(j.at("count").as_int());
+    n.rmc_count = static_cast<std::size_t>(j.at("rmc_count").as_int());
+    tree.nodes_.push_back(n);
+  }
+  DRBW_CHECK_MSG(!tree.nodes_.empty(), "model file contains no tree nodes");
+  return tree;
+}
+
+Classifier::Classifier(Normalizer normalizer, DecisionTree tree,
+                       std::vector<std::string> feature_names)
+    : normalizer_(std::move(normalizer)), tree_(std::move(tree)),
+      feature_names_(std::move(feature_names)) {}
+
+Classifier Classifier::train(const Dataset& data, TreeParams params) {
+  const Normalizer normalizer = Normalizer::fit(data);
+  Dataset normalized(data.feature_names());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    normalized.add(normalizer.apply(data.row(i)), data.label(i));
+  }
+  return Classifier(normalizer, DecisionTree::train(normalized, params),
+                    data.feature_names());
+}
+
+Label Classifier::predict(const std::vector<double>& raw_row) const {
+  return tree_.predict(normalizer_.apply(raw_row));
+}
+
+std::string Classifier::describe() const {
+  return tree_.to_string(feature_names_);
+}
+
+Json Classifier::to_json() const {
+  Json j;
+  j.set("kind", "drbw-decision-tree");
+  JsonArray names;
+  for (const auto& n : feature_names_) names.push_back(Json(n));
+  j.set("feature_names", Json(std::move(names)));
+  j.set("normalizer", normalizer_.to_json());
+  j.set("tree", tree_.to_json());
+  return j;
+}
+
+Classifier Classifier::from_json(const Json& json) {
+  DRBW_CHECK_MSG(json.at("kind").as_string() == "drbw-decision-tree",
+                 "not a DR-BW model file");
+  std::vector<std::string> names;
+  for (const Json& n : json.at("feature_names").as_array()) {
+    names.push_back(n.as_string());
+  }
+  return Classifier(Normalizer::from_json(json.at("normalizer")),
+                    DecisionTree::from_json(json.at("tree")), std::move(names));
+}
+
+void Classifier::save(const std::string& path) const {
+  std::ofstream out(path);
+  DRBW_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << to_json().dump() << '\n';
+}
+
+Classifier Classifier::load(const std::string& path) {
+  std::ifstream in(path);
+  DRBW_CHECK_MSG(in.good(), "cannot open model file '" << path << "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(Json::parse(buffer.str()));
+}
+
+}  // namespace drbw::ml

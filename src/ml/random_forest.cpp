@@ -1,0 +1,138 @@
+#include "drbw/ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "drbw/util/rng.hpp"
+
+namespace drbw::ml {
+
+RandomForest RandomForest::train(const Dataset& data, ForestParams params) {
+  DRBW_CHECK_MSG(data.size() > 0, "cannot train forest on empty dataset");
+  DRBW_CHECK_MSG(params.num_trees >= 1, "forest needs at least one tree");
+
+  RandomForest forest;
+  forest.feature_names_ = data.feature_names();
+  forest.normalizer_ = Normalizer::fit(data);
+
+  Dataset normalized(data.feature_names());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    normalized.add(forest.normalizer_.apply(data.row(i)), data.label(i));
+  }
+
+  const std::size_t total_features = data.num_features();
+  // Default subset size: sqrt(#features), but never below 2 — with one
+  // feature per tree no tree can express an interaction.
+  std::size_t per_tree =
+      params.features_per_tree > 0
+          ? static_cast<std::size_t>(params.features_per_tree)
+          : static_cast<std::size_t>(
+                std::max(2.0, std::sqrt(static_cast<double>(total_features))));
+  per_tree = std::min(per_tree, total_features);
+
+  Rng rng(params.seed);
+  for (int t = 0; t < params.num_trees; ++t) {
+    // Bootstrap rows.
+    std::vector<std::size_t> rows(normalized.size());
+    for (auto& r : rows) r = rng.bounded(normalized.size());
+
+    // Random feature subset (without replacement).
+    std::vector<std::size_t> all(total_features);
+    std::iota(all.begin(), all.end(), 0);
+    for (std::size_t i = all.size(); i > 1; --i) {
+      std::swap(all[i - 1], all[rng.bounded(i)]);
+    }
+    std::vector<std::size_t> subset(all.begin(),
+                                    all.begin() + static_cast<long>(per_tree));
+    std::sort(subset.begin(), subset.end());
+
+    Dataset sample;
+    for (const std::size_t r : rows) {
+      std::vector<double> projected;
+      projected.reserve(subset.size());
+      for (const std::size_t f : subset) projected.push_back(normalized.row(r)[f]);
+      sample.add(std::move(projected), normalized.label(r));
+    }
+    // A bootstrap can come out single-class; such a tree is a valid
+    // constant voter.
+    forest.trees_.push_back(DecisionTree::train(sample, params.tree));
+    forest.feature_maps_.push_back(std::move(subset));
+  }
+  return forest;
+}
+
+double RandomForest::vote_fraction(const std::vector<double>& raw_row) const {
+  DRBW_CHECK_MSG(!trees_.empty(), "predict on untrained forest");
+  const std::vector<double> normalized = normalizer_.apply(raw_row);
+  int rmc_votes = 0;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    std::vector<double> projected;
+    projected.reserve(feature_maps_[t].size());
+    for (const std::size_t f : feature_maps_[t]) projected.push_back(normalized[f]);
+    rmc_votes += trees_[t].predict(projected) == Label::kRmc ? 1 : 0;
+  }
+  return static_cast<double>(rmc_votes) / static_cast<double>(trees_.size());
+}
+
+Label RandomForest::predict(const std::vector<double>& raw_row) const {
+  return vote_fraction(raw_row) > 0.5 ? Label::kRmc : Label::kGood;
+}
+
+ConfusionMatrix evaluate_forest(const RandomForest& model, const Dataset& data) {
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    cm.record(data.label(i), model.predict(data.row(i)));
+  }
+  return cm;
+}
+
+CrossValidationResult stratified_kfold_forest(const Dataset& data, int folds,
+                                              ForestParams params,
+                                              std::uint64_t seed) {
+  DRBW_CHECK_MSG(folds >= 2, "cross-validation needs at least 2 folds");
+  std::vector<std::size_t> good_idx, rmc_idx;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (data.label(i) == Label::kRmc ? rmc_idx : good_idx).push_back(i);
+  }
+  Rng rng(seed);
+  auto shuffle = [&rng](std::vector<std::size_t>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[rng.bounded(i)]);
+    }
+  };
+  shuffle(good_idx);
+  shuffle(rmc_idx);
+
+  std::vector<std::vector<std::size_t>> fold_members(
+      static_cast<std::size_t>(folds));
+  std::size_t dealt = 0;
+  for (const auto* cls : {&good_idx, &rmc_idx}) {
+    for (const std::size_t i : *cls) {
+      fold_members[dealt++ % static_cast<std::size_t>(folds)].push_back(i);
+    }
+  }
+
+  CrossValidationResult result;
+  result.folds = folds;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train_idx;
+    for (int g = 0; g < folds; ++g) {
+      if (g == f) continue;
+      train_idx.insert(train_idx.end(),
+                       fold_members[static_cast<std::size_t>(g)].begin(),
+                       fold_members[static_cast<std::size_t>(g)].end());
+    }
+    const Dataset train = data.subset(train_idx);
+    if (train.count(Label::kGood) == 0 || train.count(Label::kRmc) == 0) continue;
+    ForestParams fold_params = params;
+    fold_params.seed = params.seed + static_cast<std::uint64_t>(f) * 7919;
+    const RandomForest model = RandomForest::train(train, fold_params);
+    result.confusion.merge(evaluate_forest(
+        model, data.subset(fold_members[static_cast<std::size_t>(f)])));
+  }
+  result.accuracy = result.confusion.correctness();
+  return result;
+}
+
+}  // namespace drbw::ml

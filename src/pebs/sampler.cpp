@@ -1,0 +1,52 @@
+#include "drbw/pebs/sample.hpp"
+
+#include "drbw/util/rng.hpp"
+
+namespace drbw::pebs {
+
+const char* level_name(MemLevel level) {
+  switch (level) {
+    case MemLevel::kL1: return "L1";
+    case MemLevel::kL2: return "L2";
+    case MemLevel::kL3: return "L3";
+    case MemLevel::kLfb: return "LFB";
+    case MemLevel::kLocalDram: return "LocalDRAM";
+    case MemLevel::kRemoteDram: return "RemoteDRAM";
+  }
+  return "?";
+}
+
+PeriodSampler::PeriodSampler(std::uint64_t period, std::uint64_t phase_seed)
+    : period_(period) {
+  DRBW_CHECK_MSG(period > 0, "sampling period must be positive");
+  std::uint64_t s = phase_seed;
+  countdown_ = splitmix64(s) % period + 1;
+}
+
+std::vector<std::uint64_t> PeriodSampler::consume(std::uint64_t accesses) {
+  std::vector<std::uint64_t> offsets;
+  if (accesses >= countdown_) {
+    std::uint64_t at = countdown_ - 1;  // 0-based offset of the firing access
+    while (at < accesses) {
+      offsets.push_back(at);
+      at += period_;
+    }
+    countdown_ = period_ - (accesses - 1 - offsets.back());
+  } else {
+    countdown_ -= accesses;
+  }
+  return offsets;
+}
+
+std::uint64_t PeriodSampler::count_only(std::uint64_t accesses) {
+  if (accesses < countdown_) {
+    countdown_ -= accesses;
+    return 0;
+  }
+  const std::uint64_t after_first = accesses - countdown_;
+  const std::uint64_t n = 1 + after_first / period_;
+  countdown_ = period_ - after_first % period_;
+  return n;
+}
+
+}  // namespace drbw::pebs

@@ -1,0 +1,151 @@
+#include "drbw/pebs/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "drbw/util/csv.hpp"
+#include "drbw/util/strings.hpp"
+
+namespace drbw::pebs {
+
+namespace {
+constexpr const char* kHeader = "#drbw-trace v1";
+}
+
+const char* level_token(MemLevel level) {
+  switch (level) {
+    case MemLevel::kL1: return "L1";
+    case MemLevel::kL2: return "L2";
+    case MemLevel::kL3: return "L3";
+    case MemLevel::kLfb: return "LFB";
+    case MemLevel::kLocalDram: return "LDR";
+    case MemLevel::kRemoteDram: return "RDR";
+  }
+  return "?";
+}
+
+MemLevel level_from_token(const std::string& token) {
+  if (token == "L1") return MemLevel::kL1;
+  if (token == "L2") return MemLevel::kL2;
+  if (token == "L3") return MemLevel::kL3;
+  if (token == "LFB") return MemLevel::kLfb;
+  if (token == "LDR") return MemLevel::kLocalDram;
+  if (token == "RDR") return MemLevel::kRemoteDram;
+  throw Error("unknown memory-level token '" + token + "' in trace");
+}
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << kHeader << '\n';
+  for (const mem::AllocationEvent& e : trace.events) {
+    if (e.kind == mem::AllocationEvent::Kind::kAlloc) {
+      os << "A," << CsvWriter::escape(e.site.label) << ',' << e.base << ','
+         << e.size_bytes << '\n';
+    } else {
+      os << "F," << e.base << '\n';
+    }
+  }
+  for (const MemorySample& s : trace.samples) {
+    os << "S," << s.address << ',' << s.cpu << ',' << s.tid << ','
+       << level_token(s.level) << ',' << s.latency_cycles << ','
+       << (s.is_write ? 1 : 0) << ',' << s.cycle << '\n';
+  }
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  DRBW_CHECK_MSG(out.good(), "cannot open trace path '" << path << "'");
+  write_trace(out, trace);
+}
+
+namespace {
+
+/// Minimal CSV field splitter honoring the double-quote escaping CsvWriter
+/// produces for site labels.
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  std::size_t pos = 0;
+  const std::uint64_t v = std::stoull(s, &pos);
+  DRBW_CHECK_MSG(pos == s.size(), "malformed number '" << s << "' in trace");
+  return v;
+}
+
+}  // namespace
+
+Trace read_trace(std::istream& is) {
+  std::string line;
+  DRBW_CHECK_MSG(std::getline(is, line) && trim(line) == kHeader,
+                 "not a DR-BW trace (missing '" << kHeader << "' header)");
+  Trace trace;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    const auto fields = split_csv(line);
+    const std::string& kind = fields[0];
+    try {
+      if (kind == "A") {
+        DRBW_CHECK(fields.size() == 4);
+        trace.events.push_back(mem::AllocationEvent{
+            mem::AllocationEvent::Kind::kAlloc, {fields[1]}, to_u64(fields[2]),
+            to_u64(fields[3])});
+      } else if (kind == "F") {
+        DRBW_CHECK(fields.size() == 2);
+        trace.events.push_back(mem::AllocationEvent{
+            mem::AllocationEvent::Kind::kFree, {""}, to_u64(fields[1]), 0});
+      } else if (kind == "S") {
+        DRBW_CHECK(fields.size() == 8);
+        MemorySample s;
+        s.address = to_u64(fields[1]);
+        s.cpu = static_cast<topology::CpuId>(to_u64(fields[2]));
+        s.tid = static_cast<std::uint32_t>(to_u64(fields[3]));
+        s.level = level_from_token(fields[4]);
+        s.latency_cycles = std::stof(fields[5]);
+        s.is_write = fields[6] == "1";
+        s.cycle = to_u64(fields[7]);
+        trace.samples.push_back(s);
+      } else {
+        throw Error("unknown record kind '" + kind + "'");
+      }
+    } catch (const std::exception& e) {
+      throw Error("trace line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  DRBW_CHECK_MSG(in.good(), "cannot open trace file '" << path << "'");
+  return read_trace(in);
+}
+
+}  // namespace drbw::pebs

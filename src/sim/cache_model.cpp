@@ -1,0 +1,98 @@
+#include "drbw/sim/cache_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drbw::sim {
+
+CacheModel::CacheModel(const topology::Machine& machine, CacheModelConfig config)
+    : machine_(machine), config_(config) {}
+
+HitProfile CacheModel::classify(const AccessBurst& burst,
+                                std::uint64_t span_bytes) const {
+  DRBW_CHECK_MSG(span_bytes > 0, "burst span must be positive");
+  const auto& spec = machine_.spec();
+  const double line = spec.l1.line_bytes;
+  DRBW_CHECK_MSG(burst.l12_share > 0.0 && burst.l12_share <= 1.0 &&
+                     burst.l3_share > 0.0 && burst.l3_share <= 1.0,
+                 "cache shares must be in (0, 1]");
+  // Containment is judged against the thread's temporal working set (which
+  // is at least this burst's span), and against the cache capacity actually
+  // available to the thread after sharing.
+  const auto span = static_cast<double>(
+      std::max<std::uint64_t>(span_bytes, burst.working_set_bytes));
+  const double c1 = static_cast<double>(spec.l1.size_bytes) * burst.l12_share;
+  const double c2 = static_cast<double>(spec.l2.size_bytes) * burst.l12_share;
+  const double c3 = static_cast<double>(spec.l3.size_bytes) * burst.l3_share;
+
+  HitProfile p;
+
+  switch (burst.pattern) {
+    case Pattern::kPointerChaseConflict: {
+      // The bandit stream: addresses map to the same cache sets, so every
+      // access conflict-misses all levels and is serialized on the previous
+      // one (§V-A2, following Eklov et al.'s Bandwidth Bandit construction).
+      p.dram = 1.0;
+      p.dram_bytes_per_access = line;
+      p.mlp = std::max<double>(1.0, burst.parallel_streams);
+      p.prefetch_hide = 1.0;
+      break;
+    }
+    case Pattern::kSequential:
+    case Pattern::kStrided: {
+      const double stride = burst.pattern == Pattern::kSequential
+                                ? static_cast<double>(burst.elem_bytes)
+                                : static_cast<double>(burst.stride_bytes);
+      DRBW_CHECK_MSG(stride > 0, "stride must be positive");
+      // Fraction of accesses that open a new cache line.
+      const double line_rate = std::min(1.0, stride / line);
+      if (span <= c1) {
+        p.l1 = 1.0;  // resident after warm-up
+      } else if (span <= c2) {
+        p.l2 = line_rate;
+        p.l1 = 1.0 - line_rate;
+      } else if (span <= c3) {
+        p.l3 = line_rate;
+        p.l1 = 1.0 - line_rate;
+      } else {
+        // Streaming from DRAM with hardware prefetch: the per-line
+        // transactions split between visible-DRAM and LFB; a slice of the
+        // trailing same-line accesses also lands in the LFB.
+        const double vis = config_.seq_dram_visible;
+        p.dram = line_rate * vis;
+        p.lfb = line_rate * (1.0 - vis) +
+                (1.0 - line_rate) * config_.seq_trailing_lfb;
+        p.l1 = 1.0 - p.dram - p.lfb;
+        p.dram_bytes_per_access = line_rate * line;
+      }
+      p.mlp = burst.pattern == Pattern::kSequential ? config_.mlp_sequential
+                                                    : config_.mlp_strided;
+      p.prefetch_hide = burst.pattern == Pattern::kSequential
+                            ? config_.seq_prefetch_hide
+                            : config_.strided_prefetch_hide;
+      break;
+    }
+    case Pattern::kRandom: {
+      // Hierarchical containment: an access hits the innermost level whose
+      // capacity covers its (uniformly random) target.
+      const double h1 = std::min(1.0, c1 / span);
+      const double h2 = std::min(1.0, c2 / span);
+      const double h3 = std::min(1.0, c3 / span);
+      p.l1 = h1;
+      p.l2 = std::max(0.0, h2 - h1);
+      p.l3 = std::max(0.0, h3 - h2);
+      p.dram = 1.0 - h3;
+      p.dram_bytes_per_access = p.dram * line;
+      p.mlp = config_.mlp_random;
+      p.prefetch_hide = 1.0;
+      break;
+    }
+  }
+
+  if (burst.is_write) {
+    p.dram_bytes_per_access *= config_.write_traffic_factor;
+  }
+  return p;
+}
+
+}  // namespace drbw::sim

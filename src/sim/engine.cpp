@@ -1,0 +1,415 @@
+#include "drbw/sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drbw::sim {
+
+/// Resolved state of a thread's active burst.
+struct Engine::BurstState {
+  AccessBurst burst;
+  std::uint64_t remaining = 0;
+  std::uint64_t span = 0;
+  mem::Addr base = 0;
+  HitProfile profile;
+  /// Fraction of the burst's pages homed on each node.
+  std::vector<double> home_fraction;
+  bool active = false;
+};
+
+struct Engine::ThreadState {
+  SimThread thread;
+  topology::NodeId node = 0;
+  const std::vector<AccessBurst>* queue = nullptr;
+  std::size_t next_burst = 0;
+  double compute_cpa = 1.0;
+  BurstState current;
+  bool phase_done = true;
+  pebs::PeriodSampler sampler{2000, 0};
+  Rng rng;
+  /// Fixed-point scratch: accesses planned this epoch.
+  std::uint64_t planned = 0;
+};
+
+Engine::Engine(const topology::Machine& machine, mem::AddressSpace& space,
+               EngineConfig config)
+    : machine_(machine), space_(space), config_(config),
+      cache_model_(machine, config.cache) {
+  DRBW_CHECK(config_.epoch_cycles > 0);
+  DRBW_CHECK(config_.sample_period > 0);
+  DRBW_CHECK(config_.fixed_point_rounds >= 1);
+}
+
+void Engine::activate_burst(ThreadState& ts, const AccessBurst& burst) {
+  BurstState& bs = ts.current;
+  bs.burst = burst;
+  DRBW_CHECK_MSG(burst.count > 0, "burst with zero accesses");
+  const mem::DataObject& obj = space_.object(burst.object);
+  const std::uint64_t span =
+      burst.span_bytes != 0 ? burst.span_bytes : obj.size_bytes - burst.offset_bytes;
+  bs.span = span;
+  bs.base = obj.base + burst.offset_bytes;
+  bs.remaining = burst.count;
+  bs.profile = cache_model_.classify(burst, span);
+  bs.home_fraction = space_.touch_and_home_fractions(
+      burst.object, burst.offset_bytes, span, ts.node);
+  bs.active = true;
+}
+
+double Engine::access_cost(const ThreadState& ts, const ChannelLoad& load) const {
+  const BurstState& bs = ts.current;
+  const HitProfile& p = bs.profile;
+  const auto& spec = machine_.spec();
+
+  // Observed DRAM latency averaged over the burst's home nodes, including
+  // the per-channel contention multiplier.
+  double dram_obs = 0.0;
+  double avg_mult = 1.0;
+  if (p.dram > 0.0 || p.lfb > 0.0) {
+    avg_mult = 0.0;
+    double fsum = 0.0;
+    const int n = machine_.num_nodes();
+    for (int home = 0; home < n; ++home) {
+      const double fh = bs.home_fraction[static_cast<std::size_t>(home)];
+      if (fh <= 0.0) continue;
+      const int idx = ts.node * n + home;
+      const double mult = load.multiplier_index(idx);
+      const double idle =
+          machine_.idle_dram_latency(topology::ChannelId{ts.node, home});
+      dram_obs += fh * idle * mult;
+      avg_mult += fh * mult;
+      fsum += fh;
+    }
+    if (fsum > 0.0) avg_mult /= fsum;
+    else avg_mult = 1.0;
+  }
+
+  // Cache hits overlap well in the pipeline; DRAM/LFB overlap is bounded by
+  // the pattern's MLP, and prefetching hides part of the DRAM cost.
+  constexpr double kCacheOverlap = 4.0;
+  const double cache_cost = (p.l1 * spec.l1.latency_cycles +
+                             p.l2 * spec.l2.latency_cycles +
+                             p.l3 * spec.l3.latency_cycles) /
+                            kCacheOverlap;
+  const double lfb_cost = p.lfb * spec.lfb_latency_cycles * avg_mult;
+  const double dram_cost = p.dram * dram_obs * p.prefetch_hide;
+  double cost = ts.compute_cpa + cache_cost + (lfb_cost + dram_cost) / p.mlp;
+
+  if (config_.profiling) {
+    // IBS interrupts on every op fire, not only the memory ones, so the
+    // per-access interrupt overhead scales with the op inflation.
+    const double fires_per_access =
+        config_.sampling_flavor == SamplingFlavor::kIbs
+            ? 1.0 + std::max(0.0, ts.compute_cpa)
+            : 1.0;
+    cost += config_.profiling_interrupt_cycles * fires_per_access /
+            static_cast<double>(config_.sample_period);
+  }
+  return cost;
+}
+
+void Engine::emit_samples(ThreadState& ts, std::uint64_t served,
+                          std::uint64_t epoch_start, double /*cost*/,
+                          const ChannelLoad& load, RunResult& result) {
+  const BurstState& bs = ts.current;
+  const HitProfile& p = bs.profile;
+  const auto& spec = machine_.spec();
+  const std::uint64_t done_before = bs.burst.count - bs.remaining;
+  const std::uint64_t elem = std::max<std::uint32_t>(bs.burst.elem_bytes, 1);
+  const std::uint64_t slots = std::max<std::uint64_t>(bs.span / elem, 1);
+
+  // IBS counts every retired op, not just memory accesses: feed the
+  // counter the op stream (≈ 1 + compute-cycles worth of ops per access)
+  // and map firing offsets back to the access they landed on.
+  const double ops_per_access =
+      config_.sampling_flavor == SamplingFlavor::kIbs
+          ? 1.0 + std::max(0.0, ts.compute_cpa)
+          : 1.0;
+  const auto counted = static_cast<std::uint64_t>(
+      static_cast<double>(served) * ops_per_access);
+
+  for (std::uint64_t offset : ts.sampler.consume(counted)) {
+    if (ops_per_access > 1.0) {
+      // Each access contributes one memory op among ~1+cpa retired ops; an
+      // IBS fire yields a memory record only when it tags the memory op.
+      // IBS hardware randomizes the counter start, so the tag is a fair
+      // 1-in-(ops/access) draw rather than a fixed stride (which would
+      // alias against the op pattern).
+      if (!ts.rng.bernoulli(1.0 / ops_per_access)) continue;
+      offset = static_cast<std::uint64_t>(static_cast<double>(offset) /
+                                          ops_per_access);
+    }
+    if (offset >= served) offset = served - 1;
+    // --- address ---
+    std::uint64_t slot;
+    switch (bs.burst.pattern) {
+      case Pattern::kSequential:
+      case Pattern::kStrided: {
+        const double frac = static_cast<double>(done_before + offset) /
+                            static_cast<double>(bs.burst.count);
+        slot = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(frac * static_cast<double>(slots)),
+            slots - 1);
+        break;
+      }
+      case Pattern::kRandom:
+      case Pattern::kPointerChaseConflict:
+        slot = ts.rng.bounded(slots);
+        break;
+      default:
+        slot = 0;
+    }
+    const mem::Addr addr = bs.base + slot * elem;
+
+    // --- hit level ---
+    pebs::MemLevel level;
+    double idle_latency;
+    double mult = 1.0;
+    const double u = ts.rng.uniform() * p.sum();
+    if (u < p.l1) {
+      level = pebs::MemLevel::kL1;
+      idle_latency = spec.l1.latency_cycles;
+    } else if (u < p.l1 + p.l2) {
+      level = pebs::MemLevel::kL2;
+      idle_latency = spec.l2.latency_cycles;
+    } else if (u < p.l1 + p.l2 + p.l3) {
+      level = pebs::MemLevel::kL3;
+      idle_latency = spec.l3.latency_cycles;
+    } else if (u < p.l1 + p.l2 + p.l3 + p.lfb) {
+      level = pebs::MemLevel::kLfb;
+      idle_latency = spec.lfb_latency_cycles;
+      // LFB waits ride on the stream's (home-weighted) channel delay.
+      double avg_mult = 0.0;
+      for (int home = 0; home < machine_.num_nodes(); ++home) {
+        const double fh = bs.home_fraction[static_cast<std::size_t>(home)];
+        if (fh <= 0.0) continue;
+        avg_mult += fh * load.multiplier_index(ts.node * machine_.num_nodes() + home);
+      }
+      mult = std::max(1.0, avg_mult);
+    } else {
+      // DRAM: the page home of the sampled address decides local vs remote,
+      // exactly as the tool will later rediscover via its libnuma lookup.
+      const topology::NodeId home = space_.resolve_home(addr, ts.node);
+      level = home == ts.node ? pebs::MemLevel::kLocalDram
+                              : pebs::MemLevel::kRemoteDram;
+      idle_latency =
+          machine_.idle_dram_latency(topology::ChannelId{ts.node, home});
+      mult = load.multiplier_index(ts.node * machine_.num_nodes() + home);
+    }
+
+    const double latency = ts.rng.lognormal_median(
+        idle_latency * mult, config_.latency_jitter_sigma);
+    // The latency threshold is a PEBS facility; IBS samples every op it
+    // lands on regardless of latency.
+    if (config_.sampling_flavor == SamplingFlavor::kPebs &&
+        latency < config_.sample_latency_threshold) {
+      continue;
+    }
+
+    pebs::MemorySample sample;
+    sample.address = addr;
+    sample.cpu = ts.thread.cpu;
+    sample.tid = ts.thread.tid;
+    sample.level = level;
+    sample.latency_cycles = static_cast<float>(latency);
+    sample.is_write = bs.burst.is_write;
+    sample.cycle = epoch_start +
+                   static_cast<std::uint64_t>(
+                       static_cast<double>(offset) /
+                       static_cast<double>(std::max<std::uint64_t>(served, 1)) *
+                       static_cast<double>(config_.epoch_cycles));
+    result.samples.push_back(sample);
+  }
+}
+
+RunResult Engine::run(const std::vector<SimThread>& threads,
+                      const std::vector<Phase>& phases) {
+  DRBW_CHECK_MSG(!threads.empty(), "run needs at least one thread");
+  RunResult result;
+  result.channels.assign(static_cast<std::size_t>(machine_.num_channels()), {});
+  result.alloc_events = space_.drain_events();
+
+  const int num_nodes = machine_.num_nodes();
+  std::vector<ThreadState> states(threads.size());
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    ThreadState& ts = states[i];
+    ts.thread = threads[i];
+    ts.node = machine_.node_of_cpu(threads[i].cpu);
+    ts.sampler = pebs::PeriodSampler(
+        config_.sample_period, config_.seed ^ (0x9e37u + threads[i].tid));
+    ts.rng = Rng(config_.seed).fork(threads[i].tid);
+  }
+
+  ChannelLoad load(machine_, config_.bandwidth);
+  const auto epoch_cycles = static_cast<double>(config_.epoch_cycles);
+  std::uint64_t clock = 0;
+  std::uint64_t epochs_used = 0;
+  double latency_weight = 0.0;
+  double latency_sum = 0.0;
+
+  for (const Phase& phase : phases) {
+    DRBW_CHECK_MSG(phase.work.size() == threads.size(),
+                   "phase '" << phase.name << "' has work for "
+                             << phase.work.size() << " threads, run has "
+                             << threads.size());
+    const std::uint64_t phase_start = clock;
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      ThreadState& ts = states[i];
+      ts.queue = &phase.work[i].bursts;
+      ts.compute_cpa = phase.work[i].compute_cycles_per_access;
+      ts.next_burst = 0;
+      ts.current.active = false;
+      ts.phase_done = ts.queue->empty();
+      if (!ts.phase_done) {
+        activate_burst(ts, (*ts.queue)[0]);
+        ts.next_burst = 1;
+        ++live;
+      }
+    }
+
+    while (live > 0) {
+      DRBW_CHECK_MSG(++epochs_used <= config_.max_epochs,
+                     "simulation exceeded max_epochs = " << config_.max_epochs);
+
+      // --- fixed point: rates <-> channel multipliers ---
+      for (int round = 0; round < config_.fixed_point_rounds; ++round) {
+        load.reset_round();
+        for (ThreadState& ts : states) {
+          if (ts.phase_done) continue;
+          const double cost = access_cost(ts, load);
+          const auto planned = static_cast<std::uint64_t>(epoch_cycles / cost);
+          ts.planned = std::min<std::uint64_t>(
+              std::max<std::uint64_t>(planned, 1), ts.current.remaining);
+          if (config_.profiling && config_.profiling_bytes_per_sample > 0.0) {
+            // PEBS buffer flushes land in the thread's local DRAM.
+            load.add_demand_index(
+                ts.node * num_nodes + ts.node,
+                static_cast<double>(ts.planned) /
+                    static_cast<double>(config_.sample_period) *
+                    config_.profiling_bytes_per_sample);
+          }
+          const double bpa = ts.current.profile.dram_bytes_per_access;
+          if (bpa > 0.0) {
+            for (int home = 0; home < num_nodes; ++home) {
+              const double fh =
+                  ts.current.home_fraction[static_cast<std::size_t>(home)];
+              if (fh <= 0.0) continue;
+              load.add_demand_index(ts.node * num_nodes + home,
+                                    static_cast<double>(ts.planned) * bpa * fh,
+                                    ts.current.profile.mlp * fh);
+            }
+          }
+        }
+        load.finalize_round(epoch_cycles);
+      }
+
+      // --- ration saturated channels, then commit the epoch ---
+      double max_used_fraction = 0.0;
+      for (ThreadState& ts : states) {
+        if (ts.phase_done) continue;
+        BurstState& bs = ts.current;
+        double service = 1.0;
+        if (bs.profile.dram_bytes_per_access > 0.0) {
+          for (int home = 0; home < num_nodes; ++home) {
+            if (bs.home_fraction[static_cast<std::size_t>(home)] <= 0.0) continue;
+            service = std::min(
+                service, load.service_fraction_index(ts.node * num_nodes + home));
+          }
+        }
+        const auto served = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(static_cast<double>(ts.planned) * service));
+        const std::uint64_t n = std::min<std::uint64_t>(served, bs.remaining);
+
+        const double cost = access_cost(ts, load);
+        max_used_fraction = std::max(
+            max_used_fraction,
+            std::min(1.0, static_cast<double>(n) * cost / epoch_cycles));
+
+        if (config_.profiling) {
+          emit_samples(ts, n, clock, cost, load, result);
+        }
+
+        // Traffic + latency accounting.
+        const HitProfile& p = bs.profile;
+        const auto& spec = machine_.spec();
+        double dram_obs = 0.0;
+        double remote_f = 0.0;
+        if (p.dram > 0.0) {
+          for (int home = 0; home < num_nodes; ++home) {
+            const double fh = bs.home_fraction[static_cast<std::size_t>(home)];
+            if (fh <= 0.0) continue;
+            const int idx = ts.node * num_nodes + home;
+            const double bytes =
+                static_cast<double>(n) * p.dram_bytes_per_access * fh;
+            result.channels[static_cast<std::size_t>(idx)].bytes += bytes;
+            dram_obs += fh *
+                        machine_.idle_dram_latency(topology::ChannelId{ts.node, home}) *
+                        load.multiplier_index(idx);
+            if (home != ts.node) remote_f += fh;
+          }
+          result.dram_accesses += static_cast<double>(n) * p.dram;
+          result.remote_dram_accesses += static_cast<double>(n) * p.dram * remote_f;
+          result.avg_dram_latency += static_cast<double>(n) * p.dram * dram_obs;
+        }
+        const double obs_latency =
+            p.l1 * spec.l1.latency_cycles + p.l2 * spec.l2.latency_cycles +
+            p.l3 * spec.l3.latency_cycles + p.lfb * spec.lfb_latency_cycles +
+            p.dram * dram_obs;
+        latency_sum += static_cast<double>(n) * obs_latency;
+        latency_weight += static_cast<double>(n);
+
+        result.total_accesses += n;
+        bs.remaining -= n;
+        if (bs.remaining == 0) {
+          if (ts.next_burst < ts.queue->size()) {
+            activate_burst(ts, (*ts.queue)[ts.next_burst++]);
+          } else {
+            ts.phase_done = true;
+            --live;
+          }
+        }
+      }
+
+      // Channel utilization bookkeeping from *served* traffic.
+      for (int idx = 0; idx < machine_.num_channels(); ++idx) {
+        const double cap =
+            machine_.channel_capacity(machine_.channel_at(idx)) * epoch_cycles;
+        const double offered = load.demand_bytes_index(idx);
+        const double u = std::min(offered, cap) / cap;
+        auto& ch = result.channels[static_cast<std::size_t>(idx)];
+        ch.peak_utilization = std::max(ch.peak_utilization, u);
+      }
+
+      // Advance the clock; the phase's final epoch only costs the fraction
+      // its busiest thread actually used.
+      if (live == 0) {
+        clock += static_cast<std::uint64_t>(
+            std::max(1.0, max_used_fraction * epoch_cycles));
+      } else {
+        clock += config_.epoch_cycles;
+      }
+    }
+
+    result.phases.push_back(PhaseResult{phase.name, clock - phase_start});
+  }
+
+  result.total_cycles = clock;
+  if (result.dram_accesses > 0.0) {
+    result.avg_dram_latency /= result.dram_accesses;
+  }
+  if (latency_weight > 0.0) {
+    result.avg_access_latency = latency_sum / latency_weight;
+  }
+  for (int idx = 0; idx < machine_.num_channels(); ++idx) {
+    auto& ch = result.channels[static_cast<std::size_t>(idx)];
+    const double cap = machine_.channel_capacity(machine_.channel_at(idx));
+    const double total_epoch_bytes =
+        cap * static_cast<double>(result.total_cycles);
+    ch.busy_utilization =
+        total_epoch_bytes > 0.0 ? ch.bytes / total_epoch_bytes : 0.0;
+  }
+  return result;
+}
+
+}  // namespace drbw::sim

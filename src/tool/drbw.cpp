@@ -1,0 +1,114 @@
+#include "drbw/drbw.hpp"
+
+#include <sstream>
+
+#include "drbw/util/strings.hpp"
+#include "drbw/util/table.hpp"
+
+namespace drbw {
+
+DrBw::DrBw(const topology::Machine& machine, ml::Classifier model,
+           AnalysisConfig config)
+    : machine_(machine), model_(std::move(model)), config_(config) {
+  DRBW_CHECK_MSG(model_.feature_names().size() == features::kNumSelected,
+                 "model expects " << model_.feature_names().size()
+                                  << " features; DR-BW extracts "
+                                  << features::kNumSelected);
+}
+
+Report DrBw::analyze(const sim::RunResult& run,
+                     core::PageLocator& locator) const {
+  core::Profiler profiler(machine_, locator);
+  return analyze_profile(profiler.profile(run));
+}
+
+Report DrBw::analyze_profile(core::ProfileResult profile) const {
+  Report report;
+  for (features::ChannelFeatures& cf :
+       features::extract_channels(profile, machine_)) {
+    ChannelVerdict verdict;
+    verdict.channel = cf.channel;
+    verdict.features = cf.features;
+    if (cf.features.scope_samples < config_.min_source_samples ||
+        cf.features.values[5] <
+            static_cast<double>(config_.min_remote_samples)) {
+      verdict.sparse = true;
+      verdict.verdict = ml::Label::kGood;
+    } else {
+      verdict.verdict = model_.predict(cf.features.as_row());
+    }
+    if (verdict.verdict == ml::Label::kRmc) {
+      report.contended.push_back(cf.channel);
+    }
+    report.channels.push_back(std::move(verdict));
+  }
+  report.rmc = !report.contended.empty();
+  if (report.rmc) {
+    report.diagnosis = diagnoser::diagnose(profile, report.contended);
+    report.advice = diagnoser::advise(profile, report.contended);
+  }
+  report.profile = std::move(profile);
+  return report;
+}
+
+std::vector<WindowVerdict> DrBw::analyze_windows(
+    const sim::RunResult& run, core::PageLocator& locator,
+    std::uint64_t window_cycles) const {
+  DRBW_CHECK_MSG(window_cycles > 0, "window length must be positive");
+  const std::uint64_t windows =
+      run.total_cycles / window_cycles + (run.total_cycles % window_cycles != 0);
+  std::vector<std::vector<pebs::MemorySample>> buckets(
+      std::max<std::uint64_t>(windows, 1));
+  for (const pebs::MemorySample& s : run.samples) {
+    const std::uint64_t w =
+        std::min<std::uint64_t>(s.cycle / window_cycles, buckets.size() - 1);
+    buckets[w].push_back(s);
+  }
+
+  core::Profiler profiler(machine_, locator);
+  std::vector<WindowVerdict> verdicts;
+  for (std::uint64_t w = 0; w < buckets.size(); ++w) {
+    WindowVerdict verdict;
+    verdict.start_cycle = w * window_cycles;
+    verdict.end_cycle =
+        std::min(run.total_cycles, (w + 1) * window_cycles);
+    verdict.samples = buckets[w].size();
+    // Allocation events carry no timestamps; the allocation table is valid
+    // for every window (the real tool keeps it live across the whole run).
+    const core::ProfileResult profile =
+        profiler.profile(run.alloc_events, buckets[w]);
+    const Report report = analyze_profile(profile);
+    verdict.rmc = report.rmc;
+    verdict.contended = report.contended;
+    verdicts.push_back(std::move(verdict));
+  }
+  return verdicts;
+}
+
+std::string Report::to_string(const topology::Machine& machine) const {
+  std::ostringstream os;
+  os << "DR-BW verdict: " << (rmc ? "rmc (remote bandwidth contention)"
+                                  : "good (no remote bandwidth contention)")
+     << '\n';
+  TablePrinter t({{"channel", Align::kLeft},
+                  {"samples@src", Align::kRight},
+                  {"remote samples", Align::kRight},
+                  {"avg remote lat", Align::kRight},
+                  {"verdict", Align::kLeft}});
+  for (const ChannelVerdict& v : channels) {
+    t.add_row({machine.channel_name(v.channel),
+               std::to_string(v.features.scope_samples),
+               format_fixed(v.features.values[5], 0),
+               format_fixed(v.features.values[6], 1),
+               v.sparse ? "good (sparse)"
+                        : (v.verdict == ml::Label::kRmc ? "RMC" : "good")});
+  }
+  os << t.render();
+  if (rmc) {
+    os << '\n' << diagnoser::render(diagnosis);
+    os << '\n' << diagnoser::render_advice(advice);
+  }
+  return os.str();
+}
+
+}  // namespace drbw

@@ -1,0 +1,72 @@
+#include "drbw/util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "drbw/util/error.hpp"
+#include "drbw/util/strings.hpp"
+
+namespace drbw {
+
+namespace {
+constexpr const char* kGlyphs[] = {"#", "=", "o", "+", "*", "%"};
+constexpr std::size_t kGlyphCount = sizeof(kGlyphs) / sizeof(kGlyphs[0]);
+}  // namespace
+
+BarChart::BarChart(std::string value_caption, int max_width)
+    : value_caption_(std::move(value_caption)), max_width_(max_width) {
+  DRBW_CHECK(max_width_ > 0);
+}
+
+void BarChart::add(Bar bar) {
+  DRBW_CHECK_MSG(bar.value >= 0.0, "bar value must be nonnegative");
+  bars_.push_back(std::move(bar));
+}
+
+void BarChart::add(std::string label, double value) {
+  add(Bar{std::move(label), value, 0});
+}
+
+void BarChart::set_series_names(std::vector<std::string> names) {
+  series_names_ = std::move(names);
+}
+
+std::string BarChart::render() const {
+  if (bars_.empty()) return "(empty chart)\n";
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  std::size_t max_series = 0;
+  for (const Bar& b : bars_) {
+    max_value = std::max(max_value, b.value);
+    label_width = std::max(label_width, b.label.size());
+    max_series = std::max(max_series, b.series);
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+
+  std::ostringstream os;
+  for (const Bar& b : bars_) {
+    const auto fill = static_cast<int>(
+        b.value / max_value * static_cast<double>(max_width_) + 0.5);
+    os << "  " << b.label << std::string(label_width - b.label.size(), ' ')
+       << " |";
+    const char* glyph = kGlyphs[b.series % kGlyphCount];
+    for (int i = 0; i < fill; ++i) os << glyph;
+    os << ' ' << format_fixed(b.value, 3) << '\n';
+  }
+  os << "  (" << value_caption_ << ", max = " << format_fixed(max_value, 3)
+     << ")\n";
+  if (max_series > 0 && !series_names_.empty()) {
+    os << "  legend:";
+    for (std::size_t s = 0; s < series_names_.size(); ++s) {
+      os << "  [" << kGlyphs[s % kGlyphCount] << "] " << series_names_[s];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string BarChart::render_titled(const std::string& title) const {
+  return "\n" + title + "\n" + render();
+}
+
+}  // namespace drbw

@@ -1,0 +1,37 @@
+#include "drbw/util/csv.hpp"
+
+#include "drbw/util/strings.hpp"
+
+namespace drbw {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_row(const std::string& label,
+                          const std::vector<double>& values, int decimals) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (double v : values) fields.push_back(format_fixed(v, decimals));
+  write_row(fields);
+}
+
+}  // namespace drbw

@@ -1,0 +1,94 @@
+#include "drbw/util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "drbw/util/error.hpp"
+
+namespace drbw {
+
+TablePrinter::TablePrinter(std::vector<Column> columns)
+    : columns_(std::move(columns)) {
+  DRBW_CHECK_MSG(!columns_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  DRBW_CHECK_MSG(cells.size() == columns_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << columns_.size() << " columns");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].header.size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    const std::size_t w = widths[c];
+    std::string out;
+    if (columns_[c].align == Align::kRight) {
+      out.append(w - s.size(), ' ');
+      out += s;
+    } else {
+      out += s;
+      out.append(w - s.size(), ' ');
+    }
+    return out;
+  };
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c ? "-+-" : "") << std::string(widths[c], '-');
+    }
+    os << '\n';
+  };
+
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? " | " : "") << pad(columns_[c].header, c);
+  }
+  os << '\n';
+  rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c ? " | " : "") << pad(row.cells[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string TablePrinter::render_titled(const std::string& title) const {
+  std::string body = render();
+  const std::size_t width = body.find('\n');
+  std::ostringstream os;
+  os << '\n';
+  if (title.size() < width) {
+    os << std::string((width - title.size()) / 2, ' ');
+  }
+  os << title << '\n' << body;
+  return os.str();
+}
+
+std::ostream& print_block(std::ostream& os, const std::string& text) {
+  os << text;
+  if (text.empty() || text.back() != '\n') os << '\n';
+  return os;
+}
+
+}  // namespace drbw

@@ -1,0 +1,186 @@
+#include "drbw/workloads/benchmark.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace drbw::workloads {
+
+ProxyBenchmark::ProxyBenchmark(ProxySpec spec) : spec_(std::move(spec)) {
+  DRBW_CHECK_MSG(!spec_.inputs.empty(), spec_.name << ": no inputs declared");
+  DRBW_CHECK_MSG(!spec_.arrays.empty(), spec_.name << ": no arrays declared");
+  DRBW_CHECK_MSG(!spec_.phases.empty(), spec_.name << ": no phases declared");
+  // Every phase use must reference a declared array.
+  for (const PhaseSpec& phase : spec_.phases) {
+    for (const ArrayUse& use : phase.uses) {
+      const bool known =
+          std::any_of(spec_.arrays.begin(), spec_.arrays.end(),
+                      [&](const ArrayDecl& a) { return a.site == use.site; });
+      DRBW_CHECK_MSG(known, spec_.name << ": phase '" << phase.name
+                                       << "' uses undeclared array " << use.site);
+    }
+  }
+}
+
+std::string ProxyBenchmark::input_name(std::size_t input) const {
+  DRBW_CHECK_MSG(input < spec_.inputs.size(),
+                 spec_.name << ": input " << input << " out of range");
+  return spec_.inputs[input].first;
+}
+
+mem::PlacementSpec ProxyBenchmark::placement_for(const ArrayDecl& array,
+                                                 const RunConfig& config,
+                                                 PlacementMode mode) const {
+  auto original = [&]() -> mem::PlacementSpec {
+    if (array.role == ArrayRole::kStatic) {
+      // Program image: loaded (and zero-page first-touched by the loader /
+      // master thread) onto node 0.
+      return mem::PlacementSpec::bind(0);
+    }
+    if (!spec_.master_alloc && array.role == ArrayRole::kPartitioned) {
+      // Parallel first-touch initialization co-locates shares.
+      return mem::PlacementSpec::colocate(config.segment_nodes());
+    }
+    if (!spec_.master_alloc && array.role == ArrayRole::kShared) {
+      // Parallel first-touch of a shared structure scatters its pages
+      // roughly evenly over the touching nodes.
+      return mem::PlacementSpec::interleave(config.active_nodes());
+    }
+    return mem::PlacementSpec::bind(array.bind_node);  // master allocation
+  };
+
+  switch (mode) {
+    case PlacementMode::kOriginal:
+      return original();
+    case PlacementMode::kInterleave:
+      // numactl --interleave affects the whole program, statics included.
+      return mem::PlacementSpec::interleave(config.active_nodes());
+    case PlacementMode::kColocate: {
+      if (array.role == ArrayRole::kStatic) return original();  // untracked
+      const bool targeted =
+          spec_.colocate_sites.empty()
+              ? array.role == ArrayRole::kPartitioned
+              : std::find(spec_.colocate_sites.begin(),
+                          spec_.colocate_sites.end(),
+                          array.site) != spec_.colocate_sites.end();
+      return targeted ? mem::PlacementSpec::colocate(config.segment_nodes())
+                      : original();
+    }
+    case PlacementMode::kReplicate: {
+      const bool targeted =
+          std::find(spec_.replicate_sites.begin(), spec_.replicate_sites.end(),
+                    array.site) != spec_.replicate_sites.end();
+      return targeted && array.role != ArrayRole::kStatic
+                 ? mem::PlacementSpec::replicate()
+                 : original();
+    }
+  }
+  return original();
+}
+
+BuiltWorkload ProxyBenchmark::build(mem::AddressSpace& space,
+                                    const topology::Machine& machine,
+                                    const RunConfig& config, PlacementMode mode,
+                                    std::size_t input) const {
+  DRBW_CHECK_MSG(input < spec_.inputs.size(),
+                 spec_.name << ": input " << input << " out of range");
+  const double scale = spec_.inputs[input].second;
+  const int threads = config.total_threads;
+
+  struct Placed {
+    mem::ObjectId id = 0;
+    std::uint64_t bytes = 0;
+    ArrayRole role = ArrayRole::kPartitioned;
+  };
+  std::map<std::string, Placed> placed;
+  for (const ArrayDecl& decl : spec_.arrays) {
+    const auto bytes = std::max<std::uint64_t>(
+        4096, static_cast<std::uint64_t>(static_cast<double>(decl.bytes) * scale));
+    const mem::PlacementSpec placement = placement_for(decl, config, mode);
+    const mem::ObjectId id =
+        decl.role == ArrayRole::kStatic
+            ? space.allocate_static(decl.site, bytes, placement)
+            : space.allocate(decl.site, bytes, placement);
+    placed[decl.site] = Placed{id, bytes, decl.role};
+  }
+
+  BuiltWorkload built;
+  built.threads = config.bind(machine);
+
+  // Cache sharing under this configuration: hyperthreads split the private
+  // caches once more threads than cores land on a node; co-resident threads
+  // split the socket L3.
+  const int tpn = config.threads_per_node();
+  const double l12_share =
+      tpn > machine.spec().cores_per_socket ? 0.5 : 1.0;
+  const double l3_share = 1.0 / static_cast<double>(tpn);
+
+  const double total_accesses =
+      static_cast<double>(spec_.base_accesses) * scale;
+
+  for (const PhaseSpec& phase : spec_.phases) {
+    sim::Phase out;
+    out.name = phase.name;
+    out.work.resize(static_cast<std::size_t>(threads));
+    const int workers = phase.master_only ? 1 : threads;
+    const double phase_accesses = total_accesses * phase.accesses_fraction;
+
+    for (int tid = 0; tid < workers; ++tid) {
+      sim::ThreadWork& work = out.work[static_cast<std::size_t>(tid)];
+      work.compute_cycles_per_access =
+          phase.compute_cpa > 0.0 ? phase.compute_cpa : spec_.compute_cpa;
+
+      // The thread's temporal working set: everything it touches per sweep.
+      std::uint64_t working_set = 0;
+      for (const ArrayUse& use : phase.uses) {
+        const Placed& arr = placed.at(use.site);
+        working_set +=
+            arr.role == ArrayRole::kShared || use.across || phase.master_only
+                ? arr.bytes
+                : arr.bytes / static_cast<std::uint64_t>(threads);
+      }
+
+      for (const ArrayUse& use : phase.uses) {
+        const Placed& arr = placed.at(use.site);
+        const auto count = static_cast<std::uint64_t>(
+            phase_accesses * use.weight / static_cast<double>(workers));
+        if (count == 0) continue;
+
+        sim::AccessBurst burst;
+        burst.object = arr.id;
+        burst.pattern = use.pattern;
+        burst.count = count;
+        burst.is_write = use.write;
+        burst.elem_bytes = use.elem_bytes;
+        burst.stride_bytes = use.stride_bytes;
+        burst.parallel_streams = use.streams;
+        burst.working_set_bytes = working_set;
+        burst.l12_share = l12_share;
+        burst.l3_share = l3_share;
+        if (arr.role == ArrayRole::kShared || use.across || phase.master_only) {
+          burst.offset_bytes = 0;
+          burst.span_bytes = 0;  // whole array
+        } else {
+          const std::uint64_t share =
+              arr.bytes / static_cast<std::uint64_t>(threads);
+          burst.offset_bytes = share * static_cast<std::uint64_t>(tid);
+          burst.span_bytes = tid == threads - 1
+                                 ? arr.bytes - burst.offset_bytes
+                                 : share;
+          if (burst.span_bytes == 0) continue;  // degenerate tiny array
+        }
+        work.bursts.push_back(burst);
+      }
+    }
+    built.phases.push_back(std::move(out));
+  }
+  return built;
+}
+
+sim::RunResult execute(const topology::Machine& machine,
+                       mem::AddressSpace& space, const BuiltWorkload& built,
+                       const sim::EngineConfig& engine_config) {
+  sim::Engine engine(machine, space, engine_config);
+  return engine.run(built.threads, built.phases);
+}
+
+}  // namespace drbw::workloads

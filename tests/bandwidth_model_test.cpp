@@ -1,0 +1,107 @@
+// Unit tests for the bandwidth/queueing model and per-channel load tracking.
+#include <gtest/gtest.h>
+
+#include "drbw/sim/bandwidth_model.hpp"
+#include "drbw/util/error.hpp"
+
+namespace drbw::sim {
+namespace {
+
+using topology::ChannelId;
+using topology::Machine;
+
+TEST(LatencyMultiplier, OneAtZeroLoad) {
+  EXPECT_DOUBLE_EQ(latency_multiplier(0.0), 1.0);
+}
+
+TEST(LatencyMultiplier, NearOneInFriendlyRegime) {
+  // High consumption without saturation must NOT look like contention —
+  // the paper's core point (§I): consumption alone is not contention.
+  EXPECT_LT(latency_multiplier(0.3), 1.05);
+  EXPECT_LT(latency_multiplier(0.5), 1.15);
+  EXPECT_LT(latency_multiplier(0.7), 1.65);
+}
+
+TEST(LatencyMultiplier, SteepNearSaturation) {
+  EXPECT_GT(latency_multiplier(0.9), 4.0);
+  EXPECT_GT(latency_multiplier(0.96), 10.0);
+}
+
+TEST(LatencyMultiplier, MonotoneNondecreasing) {
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.5; u += 0.01) {
+    const double m = latency_multiplier(u);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(LatencyMultiplier, ClampsAboveUmax) {
+  const BandwidthModelConfig cfg;
+  EXPECT_DOUBLE_EQ(latency_multiplier(1.0, cfg),
+                   latency_multiplier(cfg.u_max, cfg));
+  EXPECT_DOUBLE_EQ(latency_multiplier(5.0, cfg), latency_multiplier(1.0, cfg));
+}
+
+TEST(LatencyMultiplier, RejectsNegativeUtilization) {
+  EXPECT_THROW(latency_multiplier(-0.1), Error);
+}
+
+class ChannelLoadTest : public ::testing::Test {
+ protected:
+  Machine machine_ = Machine::dual_socket_test();
+  ChannelLoad load_{machine_};
+};
+
+TEST_F(ChannelLoadTest, UtilizationFromDemand) {
+  const ChannelId ch{0, 1};
+  const double cap = machine_.channel_capacity(ch);
+  load_.reset_round();
+  load_.add_demand(ch, cap * 1000.0 * 0.5);  // 50% of a 1000-cycle epoch
+  load_.finalize_round(1000.0);
+  EXPECT_NEAR(load_.utilization(ch), 0.5, 1e-12);
+  EXPECT_GT(load_.multiplier(ch), 1.0);
+  EXPECT_DOUBLE_EQ(load_.utilization(ChannelId{1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(load_.multiplier(ChannelId{1, 0}), 1.0);
+}
+
+TEST_F(ChannelLoadTest, DemandAccumulatesWithinRound) {
+  const ChannelId ch{0, 0};
+  const double cap = machine_.channel_capacity(ch);
+  load_.reset_round();
+  load_.add_demand(ch, cap * 100.0 * 0.25);
+  load_.add_demand(ch, cap * 100.0 * 0.25);
+  load_.finalize_round(100.0);
+  EXPECT_NEAR(load_.utilization(ch), 0.5, 1e-12);
+}
+
+TEST_F(ChannelLoadTest, ResetClearsDemand) {
+  const ChannelId ch{0, 1};
+  load_.reset_round();
+  load_.add_demand(ch, 1e6);
+  load_.reset_round();
+  load_.finalize_round(100.0);
+  EXPECT_DOUBLE_EQ(load_.utilization(ch), 0.0);
+}
+
+TEST_F(ChannelLoadTest, ServiceFractionRationsOverload) {
+  const ChannelId ch{1, 0};
+  const double cap = machine_.channel_capacity(ch);
+  load_.reset_round();
+  load_.add_demand(ch, cap * 100.0 * 2.0);  // 2x oversubscribed
+  load_.finalize_round(100.0);
+  EXPECT_NEAR(load_.service_fraction_index(machine_.channel_index(ch)), 0.5,
+              1e-12);
+  // An unsaturated channel serves everything.
+  EXPECT_DOUBLE_EQ(load_.service_fraction_index(machine_.channel_index({0, 1})),
+                   1.0);
+}
+
+TEST_F(ChannelLoadTest, RejectsNegativeDemandAndBadEpoch) {
+  load_.reset_round();
+  EXPECT_THROW(load_.add_demand(ChannelId{0, 0}, -1.0), Error);
+  EXPECT_THROW(load_.finalize_round(0.0), Error);
+}
+
+}  // namespace
+}  // namespace drbw::sim

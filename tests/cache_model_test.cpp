@@ -1,0 +1,149 @@
+// Unit tests for the analytic cache model: containment, streaming, and the
+// bandit conflict stream.
+#include <gtest/gtest.h>
+
+#include "drbw/sim/cache_model.hpp"
+#include "drbw/util/error.hpp"
+
+namespace drbw::sim {
+namespace {
+
+using topology::Machine;
+
+class CacheModelTest : public ::testing::Test {
+ protected:
+  Machine machine_ = Machine::xeon_e5_4650();
+  CacheModel model_{machine_};
+
+  static AccessBurst seq(std::uint32_t elem = 8) {
+    AccessBurst b;
+    b.pattern = Pattern::kSequential;
+    b.count = 1000;
+    b.elem_bytes = elem;
+    return b;
+  }
+};
+
+TEST_F(CacheModelTest, ProfilesAlwaysSumToOne) {
+  for (const Pattern pat : {Pattern::kSequential, Pattern::kStrided,
+                            Pattern::kRandom, Pattern::kPointerChaseConflict}) {
+    for (const std::uint64_t span :
+         {4096ull, 1ull << 20, 1ull << 25, 1ull << 30}) {
+      AccessBurst b = seq();
+      b.pattern = pat;
+      b.stride_bytes = 64;
+      const HitProfile p = model_.classify(b, span);
+      EXPECT_NEAR(p.sum(), 1.0, 1e-9) << pattern_name(pat) << " span " << span;
+      EXPECT_GE(p.l1, 0.0);
+      EXPECT_GE(p.dram, 0.0);
+    }
+  }
+}
+
+TEST_F(CacheModelTest, SequentialResidentInL1WhenTiny) {
+  const HitProfile p = model_.classify(seq(), 16 * 1024);  // < 32 KB L1
+  EXPECT_DOUBLE_EQ(p.l1, 1.0);
+  EXPECT_DOUBLE_EQ(p.dram, 0.0);
+  EXPECT_DOUBLE_EQ(p.dram_bytes_per_access, 0.0);
+}
+
+TEST_F(CacheModelTest, SequentialAbsorbedByL2ThenL3) {
+  const HitProfile in_l2 = model_.classify(seq(), 128 * 1024);
+  EXPECT_GT(in_l2.l2, 0.0);
+  EXPECT_DOUBLE_EQ(in_l2.dram, 0.0);
+  const HitProfile in_l3 = model_.classify(seq(), 4ull << 20);
+  EXPECT_GT(in_l3.l3, 0.0);
+  EXPECT_DOUBLE_EQ(in_l3.l2, 0.0);
+  EXPECT_DOUBLE_EQ(in_l3.dram, 0.0);
+}
+
+TEST_F(CacheModelTest, SequentialStreamsFromDramWhenHuge) {
+  const HitProfile p = model_.classify(seq(), 1ull << 30);
+  EXPECT_GT(p.dram, 0.0);
+  EXPECT_GT(p.lfb, 0.0);  // prefetched stream shows LFB hits
+  // One 64B line per 8 accesses of 8B elements.
+  EXPECT_NEAR(p.dram_bytes_per_access, 8.0, 1e-9);
+  EXPECT_LT(p.dram, 0.125);  // part of the line flow is LFB-visible
+  EXPECT_LT(p.prefetch_hide, 1.0);
+  EXPECT_GT(p.mlp, 1.0);
+}
+
+TEST_F(CacheModelTest, StrideAtLineSizeMissesEveryAccess) {
+  AccessBurst b = seq();
+  b.pattern = Pattern::kStrided;
+  b.stride_bytes = 64;
+  const HitProfile p = model_.classify(b, 1ull << 30);
+  // Every access opens a line: dram + lfb = 1 (no same-line reuse).
+  EXPECT_NEAR(p.dram + p.lfb, 1.0, 0.15);
+  EXPECT_NEAR(p.dram_bytes_per_access, 64.0, 1e-9);
+}
+
+TEST_F(CacheModelTest, RandomContainmentGradesAcrossLevels) {
+  AccessBurst b = seq();
+  b.pattern = Pattern::kRandom;
+  // Span = 2x L3: half the accesses hit somewhere on chip, half go to DRAM.
+  const HitProfile p = model_.classify(b, 40ull << 20);
+  EXPECT_NEAR(p.dram, 0.5, 1e-9);
+  EXPECT_GT(p.l1, 0.0);
+  EXPECT_GT(p.l3, p.l2);  // L3 covers far more of the span than L2
+  EXPECT_DOUBLE_EQ(p.lfb, 0.0);
+  EXPECT_NEAR(p.dram_bytes_per_access, 0.5 * 64.0, 1e-9);
+}
+
+TEST_F(CacheModelTest, RandomFullyCachedWhenSpanFitsL1) {
+  AccessBurst b = seq();
+  b.pattern = Pattern::kRandom;
+  const HitProfile p = model_.classify(b, 16 * 1024);
+  EXPECT_DOUBLE_EQ(p.l1, 1.0);
+  EXPECT_DOUBLE_EQ(p.dram, 0.0);
+}
+
+TEST_F(CacheModelTest, RandomDramFractionMonotoneInSpan) {
+  AccessBurst b = seq();
+  b.pattern = Pattern::kRandom;
+  double prev = -1.0;
+  for (const std::uint64_t span : {1ull << 20, 1ull << 24, 1ull << 26,
+                                   1ull << 28, 1ull << 30, 1ull << 32}) {
+    const double dram = model_.classify(b, span).dram;
+    EXPECT_GE(dram, prev);
+    prev = dram;
+  }
+  EXPECT_GT(prev, 0.97);  // 4 GB span is essentially uncached
+}
+
+TEST_F(CacheModelTest, BanditBypassesAllCaches) {
+  AccessBurst b;
+  b.pattern = Pattern::kPointerChaseConflict;
+  b.count = 100;
+  b.parallel_streams = 1;
+  // Even a tiny span misses: conflict streams defeat the caches by set
+  // construction, not by capacity.
+  const HitProfile p = model_.classify(b, 64 * 1024);
+  EXPECT_DOUBLE_EQ(p.dram, 1.0);
+  EXPECT_DOUBLE_EQ(p.mlp, 1.0);
+  EXPECT_DOUBLE_EQ(p.dram_bytes_per_access, 64.0);
+}
+
+TEST_F(CacheModelTest, BanditStreamsRaiseMlp) {
+  AccessBurst b;
+  b.pattern = Pattern::kPointerChaseConflict;
+  b.count = 100;
+  b.parallel_streams = 12;
+  EXPECT_DOUBLE_EQ(model_.classify(b, 1 << 20).mlp, 12.0);
+}
+
+TEST_F(CacheModelTest, WritesCarryExtraTraffic) {
+  AccessBurst rd = seq();
+  AccessBurst wr = seq();
+  wr.is_write = true;
+  const double r = model_.classify(rd, 1ull << 30).dram_bytes_per_access;
+  const double w = model_.classify(wr, 1ull << 30).dram_bytes_per_access;
+  EXPECT_NEAR(w, 2.0 * r, 1e-9);
+}
+
+TEST_F(CacheModelTest, RejectsZeroSpan) {
+  EXPECT_THROW(model_.classify(seq(), 0), Error);
+}
+
+}  // namespace
+}  // namespace drbw::sim

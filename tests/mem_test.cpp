@@ -1,0 +1,182 @@
+// Unit tests for drbw::mem — the simulated address space, placement
+// policies, first-touch resolution, replication, and allocation events.
+#include <gtest/gtest.h>
+
+#include "drbw/mem/address_space.hpp"
+#include "drbw/util/error.hpp"
+
+namespace drbw::mem {
+namespace {
+
+using topology::Machine;
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  Machine machine_ = Machine::xeon_e5_4650();
+  AddressSpace space_{machine_};
+};
+
+TEST_F(AddressSpaceTest, BindHomesEveryPageOnOneNode) {
+  const ObjectId id = space_.allocate("a.c:1 buf", 64 * 4096,
+                                      PlacementSpec::bind(2));
+  const DataObject& obj = space_.object(id);
+  for (std::uint64_t off = 0; off < obj.size_bytes; off += 4096) {
+    EXPECT_EQ(space_.resolve_home(obj.base + off, 0), 2);
+  }
+}
+
+TEST_F(AddressSpaceTest, InterleaveRoundRobinsAcrossAllNodes) {
+  const ObjectId id =
+      space_.allocate("a.c:2 buf", 8 * 4096, PlacementSpec::interleave());
+  const DataObject& obj = space_.object(id);
+  for (int page = 0; page < 8; ++page) {
+    EXPECT_EQ(space_.resolve_home(obj.base + page * 4096ull, 0), page % 4);
+  }
+}
+
+TEST_F(AddressSpaceTest, InterleaveOverSubsetOnlyUsesSubset) {
+  const ObjectId id = space_.allocate("a.c:3 buf", 6 * 4096,
+                                      PlacementSpec::interleave({1, 3}));
+  const DataObject& obj = space_.object(id);
+  for (int page = 0; page < 6; ++page) {
+    const auto home = space_.resolve_home(obj.base + page * 4096ull, 0);
+    EXPECT_EQ(home, page % 2 == 0 ? 1 : 3);
+  }
+}
+
+TEST_F(AddressSpaceTest, ColocateSplitsProportionally) {
+  // 8 pages over 4 segments -> 2 pages per node, in order 0,1,2,3.
+  const ObjectId id = space_.allocate("a.c:4 buf", 8 * 4096,
+                                      PlacementSpec::colocate({0, 1, 2, 3}));
+  const DataObject& obj = space_.object(id);
+  const int expect[] = {0, 0, 1, 1, 2, 2, 3, 3};
+  for (int page = 0; page < 8; ++page) {
+    EXPECT_EQ(space_.resolve_home(obj.base + page * 4096ull, 0), expect[page])
+        << "page " << page;
+  }
+}
+
+TEST_F(AddressSpaceTest, ColocateHandlesUnevenSplit) {
+  // 5 pages over 2 segments: floor split gives pages {0,1} seg0, {2,3,4} seg1.
+  const ObjectId id = space_.allocate("a.c:5 buf", 5 * 4096,
+                                      PlacementSpec::colocate({1, 2}));
+  const DataObject& obj = space_.object(id);
+  int on_node1 = 0, on_node2 = 0;
+  for (int page = 0; page < 5; ++page) {
+    const auto home = space_.resolve_home(obj.base + page * 4096ull, 0);
+    if (home == 1) ++on_node1;
+    if (home == 2) ++on_node2;
+  }
+  EXPECT_EQ(on_node1 + on_node2, 5);
+  EXPECT_GE(on_node1, 2);
+  EXPECT_GE(on_node2, 2);
+}
+
+TEST_F(AddressSpaceTest, ReplicateResolvesToAccessor) {
+  const ObjectId id =
+      space_.allocate("a.c:6 buf", 4096, PlacementSpec::replicate());
+  const Addr addr = space_.object(id).base;
+  for (int node = 0; node < 4; ++node) {
+    EXPECT_EQ(space_.resolve_home(addr, node), node);
+  }
+}
+
+TEST_F(AddressSpaceTest, FirstTouchHomesOnFirstAccessorPermanently) {
+  const ObjectId id =
+      space_.allocate("a.c:7 buf", 2 * 4096, PlacementSpec::first_touch());
+  const Addr base = space_.object(id).base;
+  EXPECT_EQ(space_.peek_home(base, 0), std::nullopt);
+  EXPECT_EQ(space_.resolve_home(base, 3), 3);          // first touch by node 3
+  EXPECT_EQ(space_.resolve_home(base, 1), 3);          // sticky afterwards
+  EXPECT_EQ(space_.peek_home(base, 0), std::optional<topology::NodeId>(3));
+  // Second page is independent.
+  EXPECT_EQ(space_.resolve_home(base + 4096, 1), 1);
+}
+
+TEST_F(AddressSpaceTest, ObjectLookupCoversExactRange) {
+  const ObjectId a = space_.allocate("a.c:8 x", 100, PlacementSpec::bind(0));
+  const ObjectId b = space_.allocate("a.c:9 y", 100, PlacementSpec::bind(0));
+  const Addr base_a = space_.object(a).base;
+  const Addr base_b = space_.object(b).base;
+  EXPECT_EQ(space_.object_at(base_a)->id, a);
+  EXPECT_EQ(space_.object_at(base_a + 99)->id, a);
+  EXPECT_EQ(space_.object_at(base_a + 100), nullptr);  // past the end
+  EXPECT_EQ(space_.object_at(base_b)->id, b);
+  EXPECT_EQ(space_.object_at(0x10), nullptr);          // below all regions
+}
+
+TEST_F(AddressSpaceTest, ObjectsNeverSharePages) {
+  const ObjectId a = space_.allocate("a.c:10 x", 10, PlacementSpec::bind(0));
+  const ObjectId b = space_.allocate("a.c:11 y", 10, PlacementSpec::bind(1));
+  const Addr pa = space_.object(a).base / 4096;
+  const Addr pb = space_.object(b).base / 4096;
+  EXPECT_NE(pa, pb);
+}
+
+TEST_F(AddressSpaceTest, FreeUnmapsAndDoubleFreeThrows) {
+  const ObjectId id = space_.allocate("a.c:12 x", 4096, PlacementSpec::bind(0));
+  const Addr base = space_.object(id).base;
+  space_.free(id);
+  EXPECT_EQ(space_.object_at(base), nullptr);
+  EXPECT_THROW(space_.free(id), Error);
+  EXPECT_THROW(space_.resolve_home(base, 0), Error);
+}
+
+TEST_F(AddressSpaceTest, AllocationEventsMirrorMallocStream) {
+  const ObjectId id = space_.allocate("amg.c:120 diag_j", 8192,
+                                      PlacementSpec::bind(0));
+  space_.free(id);
+  const auto events = space_.drain_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, AllocationEvent::Kind::kAlloc);
+  EXPECT_EQ(events[0].site.label, "amg.c:120 diag_j");
+  EXPECT_EQ(events[0].size_bytes, 8192u);
+  EXPECT_EQ(events[1].kind, AllocationEvent::Kind::kFree);
+  EXPECT_EQ(events[1].base, events[0].base);
+  EXPECT_TRUE(space_.drain_events().empty());  // drained
+}
+
+TEST_F(AddressSpaceTest, StaticRegionsEmitNoEvents) {
+  space_.allocate_static("sp.f:1 global", 4096, PlacementSpec::bind(0));
+  EXPECT_TRUE(space_.drain_events().empty());
+  EXPECT_EQ(space_.object_count(), 1u);
+}
+
+TEST_F(AddressSpaceTest, ResidentBytesTracksPlacement) {
+  space_.allocate("a.c:13 x", 4 * 4096, PlacementSpec::bind(1));
+  const auto bytes = space_.resident_bytes_per_node();
+  EXPECT_EQ(bytes[1], 4u * 4096);
+  EXPECT_EQ(bytes[0], 0u);
+}
+
+TEST_F(AddressSpaceTest, ResidentBytesCountsReplicasPerNode) {
+  space_.allocate("a.c:14 x", 4096, PlacementSpec::replicate());
+  const auto bytes = space_.resident_bytes_per_node();
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(bytes[static_cast<std::size_t>(n)], 4096u);
+}
+
+TEST_F(AddressSpaceTest, UntouchedFirstTouchNotResident) {
+  space_.allocate("a.c:15 x", 4096, PlacementSpec::first_touch());
+  const auto before = space_.resident_bytes_per_node();
+  EXPECT_EQ(before[0] + before[1] + before[2] + before[3], 0u);
+}
+
+TEST_F(AddressSpaceTest, InvalidInputsThrow) {
+  EXPECT_THROW(space_.allocate("z", 0, PlacementSpec::bind(0)), Error);
+  EXPECT_THROW(space_.allocate("z", 8, PlacementSpec::bind(9)), Error);
+  EXPECT_THROW(space_.allocate("z", 8, PlacementSpec::colocate({})), Error);
+  EXPECT_THROW(space_.allocate("z", 8, PlacementSpec::interleave({7})), Error);
+  EXPECT_THROW(space_.resolve_home(0x1, 0), Error);
+  EXPECT_THROW(space_.object(99), Error);
+}
+
+TEST(PlacementName, AllNamed) {
+  EXPECT_STREQ(placement_name(Placement::kBind), "bind");
+  EXPECT_STREQ(placement_name(Placement::kFirstTouch), "first-touch");
+  EXPECT_STREQ(placement_name(Placement::kInterleave), "interleave");
+  EXPECT_STREQ(placement_name(Placement::kColocate), "co-locate");
+  EXPECT_STREQ(placement_name(Placement::kReplicate), "replicate");
+}
+
+}  // namespace
+}  // namespace drbw::mem

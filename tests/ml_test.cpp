@@ -1,0 +1,252 @@
+// Tests for the ML substrate: dataset/normalizer, CART training and
+// prediction, model persistence, confusion metrics, and stratified k-fold.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "drbw/ml/metrics.hpp"
+#include "drbw/util/rng.hpp"
+
+namespace drbw::ml {
+namespace {
+
+Dataset xor_free_dataset() {
+  // Linearly separable on feature 0 with a little slack; feature 1 is noise.
+  Dataset d({"signal", "noise"});
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    d.add({rng.uniform(0.0, 0.4), rng.uniform()}, Label::kGood);
+    d.add({rng.uniform(0.6, 1.0), rng.uniform()}, Label::kRmc);
+  }
+  return d;
+}
+
+TEST(Dataset, AddAndQuery) {
+  Dataset d({"a", "b"});
+  d.add({1.0, 2.0}, Label::kGood, "run1");
+  d.add({3.0, 4.0}, Label::kRmc);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.count(Label::kGood), 1u);
+  EXPECT_EQ(d.count(Label::kRmc), 1u);
+  EXPECT_EQ(d.tag(0), "run1");
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 3.0);
+  EXPECT_THROW(d.add({1.0}, Label::kGood), Error);
+}
+
+TEST(Dataset, AnonymousColumnsInferArity) {
+  Dataset d;
+  d.add({1.0, 2.0, 3.0}, Label::kGood);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.feature_names()[2], "f2");
+}
+
+TEST(Dataset, SubsetPreservesRows) {
+  Dataset d({"a"});
+  d.add({1.0}, Label::kGood, "r0");
+  d.add({2.0}, Label::kRmc, "r1");
+  d.add({3.0}, Label::kGood, "r2");
+  const Dataset s = d.subset({2, 0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.row(0)[0], 3.0);
+  EXPECT_EQ(s.tag(1), "r0");
+  EXPECT_THROW(d.subset({9}), Error);
+}
+
+TEST(Normalizer, MapsToUnitRange) {
+  Dataset d({"a", "b"});
+  d.add({0.0, 100.0}, Label::kGood);
+  d.add({10.0, 300.0}, Label::kRmc);
+  const Normalizer n = Normalizer::fit(d);
+  const auto mid = n.apply({5.0, 200.0});
+  EXPECT_DOUBLE_EQ(mid[0], 0.5);
+  EXPECT_DOUBLE_EQ(mid[1], 0.5);
+  // Out-of-range values extrapolate (unseen magnitudes look extreme).
+  EXPECT_DOUBLE_EQ(n.apply({20.0, 100.0})[0], 2.0);
+}
+
+TEST(Normalizer, ConstantFeatureMapsToZero) {
+  Dataset d({"c"});
+  d.add({7.0}, Label::kGood);
+  d.add({7.0}, Label::kRmc);
+  const Normalizer n = Normalizer::fit(d);
+  EXPECT_DOUBLE_EQ(n.apply({7.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(n.apply({100.0})[0], 0.0);
+}
+
+TEST(Normalizer, JsonRoundTrip) {
+  Dataset d({"a"});
+  d.add({1.0}, Label::kGood);
+  d.add({9.0}, Label::kRmc);
+  const Normalizer n = Normalizer::fit(d);
+  const Normalizer m = Normalizer::from_json(n.to_json());
+  EXPECT_DOUBLE_EQ(m.apply({5.0})[0], n.apply({5.0})[0]);
+}
+
+TEST(DecisionTree, LearnsSeparableBoundary) {
+  const Dataset d = xor_free_dataset();
+  const Classifier model = Classifier::train(d);
+  EXPECT_EQ(model.predict({0.1, 0.9}), Label::kGood);
+  EXPECT_EQ(model.predict({0.9, 0.1}), Label::kRmc);
+  const ConfusionMatrix cm = evaluate(model, d);
+  EXPECT_DOUBLE_EQ(cm.correctness(), 1.0);
+  // Only the signal feature should be used.
+  EXPECT_EQ(model.tree().used_features(), std::vector<int>{0});
+}
+
+TEST(DecisionTree, TwoFeatureInteraction) {
+  // rmc iff f0 high AND f1 high: requires depth 2, like Fig. 3's two-feature
+  // tree (remote count high AND remote latency high).
+  Dataset d({"remote_count", "remote_lat"});
+  for (double a : {0.1, 0.3, 0.7, 0.9}) {
+    for (double b : {0.1, 0.3, 0.7, 0.9}) {
+      for (int rep = 0; rep < 3; ++rep) {
+        d.add({a + rep * 0.01, b + rep * 0.01},
+              (a > 0.5 && b > 0.5) ? Label::kRmc : Label::kGood);
+      }
+    }
+  }
+  const Classifier model = Classifier::train(d);
+  EXPECT_EQ(model.predict({0.8, 0.8}), Label::kRmc);
+  EXPECT_EQ(model.predict({0.8, 0.2}), Label::kGood);
+  EXPECT_EQ(model.predict({0.2, 0.8}), Label::kGood);
+  EXPECT_EQ(evaluate(model, d).correctness(), 1.0);
+  EXPECT_EQ(model.tree().used_features().size(), 2u);
+}
+
+TEST(DecisionTree, PureDatasetIsSingleLeaf) {
+  Dataset d({"a"});
+  for (int i = 0; i < 10; ++i) d.add({static_cast<double>(i)}, Label::kGood);
+  const DecisionTree tree = DecisionTree::train(d);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.predict({5.0}), Label::kGood);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  Dataset d = xor_free_dataset();
+  TreeParams p;
+  p.max_depth = 1;
+  const DecisionTree tree = DecisionTree::train(d, p);
+  EXPECT_LE(tree.depth(), 1);
+}
+
+TEST(DecisionTree, MinLeafPreventsSlivers) {
+  Dataset d({"a"});
+  // One outlier good point inside an rmc cluster.
+  for (int i = 0; i < 20; ++i) d.add({1.0 + i * 0.001}, Label::kRmc);
+  d.add({1.010}, Label::kGood);
+  TreeParams p;
+  p.min_samples_leaf = 5;
+  const DecisionTree tree = DecisionTree::train(d, p);
+  // Cannot isolate the single outlier with min leaf 5.
+  EXPECT_EQ(tree.predict({1.0105}), Label::kRmc);
+}
+
+TEST(DecisionTree, PrintsFigureThreeStyle) {
+  const Dataset d = xor_free_dataset();
+  const Classifier model = Classifier::train(d);
+  const std::string rendered = model.describe();
+  EXPECT_NE(rendered.find("signal >"), std::string::npos);
+  EXPECT_NE(rendered.find("[good]"), std::string::npos);
+  EXPECT_NE(rendered.find("[rmc]"), std::string::npos);
+  EXPECT_NE(rendered.find("yes ->"), std::string::npos);
+}
+
+TEST(DecisionTree, JsonRoundTripPreservesPredictions) {
+  const Dataset d = xor_free_dataset();
+  const Classifier model = Classifier::train(d);
+  const Classifier loaded = Classifier::from_json(model.to_json());
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> row{rng.uniform(), rng.uniform()};
+    EXPECT_EQ(model.predict(row), loaded.predict(row));
+  }
+  EXPECT_EQ(loaded.feature_names(), model.feature_names());
+}
+
+TEST(DecisionTree, SaveLoadFile) {
+  const Dataset d = xor_free_dataset();
+  const Classifier model = Classifier::train(d);
+  const std::string path = ::testing::TempDir() + "/drbw_model.json";
+  model.save(path);
+  const Classifier loaded = Classifier::load(path);
+  EXPECT_EQ(loaded.predict({0.9, 0.5}), Label::kRmc);
+  std::remove(path.c_str());
+  EXPECT_THROW(Classifier::load("/nonexistent/model.json"), Error);
+}
+
+TEST(DecisionTree, EmptyAndInvalidInputs) {
+  EXPECT_THROW(DecisionTree::train(Dataset{}), Error);
+  Dataset d({"a"});
+  d.add({1.0}, Label::kGood);
+  TreeParams bad;
+  bad.max_depth = 0;
+  EXPECT_THROW(DecisionTree::train(d, bad), Error);
+  DecisionTree untrained;
+  EXPECT_THROW(untrained.predict({1.0}), Error);
+}
+
+TEST(ConfusionMatrix, RatesMatchPaperDefinitions) {
+  // Table VI's numbers: TP=63, FN=0, FP=19, TN=430.
+  ConfusionMatrix cm;
+  cm.true_rmc = 63;
+  cm.false_good = 0;
+  cm.false_rmc = 19;
+  cm.true_good = 430;
+  EXPECT_NEAR(cm.correctness(), 0.963, 0.0005);
+  EXPECT_NEAR(cm.false_positive_rate(), 0.042, 0.0005);
+  EXPECT_DOUBLE_EQ(cm.false_negative_rate(), 0.0);
+  EXPECT_EQ(cm.total(), 512u);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("430"), std::string::npos);
+  EXPECT_NE(s.find("96.3%"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, RecordAndMerge) {
+  ConfusionMatrix a, b;
+  a.record(Label::kRmc, Label::kRmc);
+  a.record(Label::kGood, Label::kRmc);
+  b.record(Label::kGood, Label::kGood);
+  b.record(Label::kRmc, Label::kGood);
+  a.merge(b);
+  EXPECT_EQ(a.true_rmc, 1u);
+  EXPECT_EQ(a.false_rmc, 1u);
+  EXPECT_EQ(a.true_good, 1u);
+  EXPECT_EQ(a.false_good, 1u);
+  EXPECT_DOUBLE_EQ(a.correctness(), 0.5);
+}
+
+TEST(ConfusionMatrix, EmptyIsZeroSafe) {
+  const ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.correctness(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.false_negative_rate(), 0.0);
+}
+
+TEST(CrossValidation, HighAccuracyOnSeparableData) {
+  const Dataset d = xor_free_dataset();
+  const auto cv = stratified_kfold(d, 10, TreeParams{}, 42);
+  EXPECT_EQ(cv.folds, 10);
+  EXPECT_EQ(cv.confusion.total(), d.size());
+  EXPECT_GT(cv.accuracy, 0.95);
+}
+
+TEST(CrossValidation, DeterministicForSeed) {
+  const Dataset d = xor_free_dataset();
+  const auto a = stratified_kfold(d, 5, TreeParams{}, 7);
+  const auto b = stratified_kfold(d, 5, TreeParams{}, 7);
+  EXPECT_EQ(a.confusion.true_rmc, b.confusion.true_rmc);
+  EXPECT_EQ(a.confusion.false_rmc, b.confusion.false_rmc);
+}
+
+TEST(CrossValidation, ValidatesArguments) {
+  Dataset d({"a"});
+  d.add({1.0}, Label::kGood);
+  EXPECT_THROW(stratified_kfold(d, 1, TreeParams{}, 0), Error);
+  EXPECT_THROW(stratified_kfold(d, 5, TreeParams{}, 0), Error);
+}
+
+}  // namespace
+}  // namespace drbw::ml

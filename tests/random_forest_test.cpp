@@ -1,0 +1,89 @@
+// Tests for the random-forest ablation comparator.
+#include <gtest/gtest.h>
+
+#include "drbw/ml/random_forest.hpp"
+#include "drbw/util/rng.hpp"
+
+namespace drbw::ml {
+namespace {
+
+Dataset separable(std::uint64_t seed, int rows = 120) {
+  Rng rng(seed);
+  Dataset d({"a", "b", "noise"});
+  for (int i = 0; i < rows; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    d.add({a, b, rng.uniform()},
+          a > 0.5 && b > 0.4 ? Label::kRmc : Label::kGood);
+  }
+  return d;
+}
+
+TEST(RandomForest, LearnsSeparableBoundary) {
+  const Dataset d = separable(3);
+  const RandomForest forest = RandomForest::train(d);
+  EXPECT_EQ(forest.size(), 25u);
+  const auto cm = evaluate_forest(forest, d);
+  EXPECT_GT(cm.correctness(), 0.95);
+  EXPECT_EQ(forest.predict({0.9, 0.9, 0.5}), Label::kRmc);
+  EXPECT_EQ(forest.predict({0.1, 0.1, 0.5}), Label::kGood);
+}
+
+TEST(RandomForest, VoteFractionIsCalibratedAtExtremes) {
+  const Dataset d = separable(5);
+  const RandomForest forest = RandomForest::train(d);
+  EXPECT_GT(forest.vote_fraction({0.95, 0.95, 0.5}), 0.6);
+  EXPECT_LT(forest.vote_fraction({0.05, 0.05, 0.5}), 0.4);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  const Dataset d = separable(7);
+  ForestParams params;
+  params.seed = 42;
+  const RandomForest a = RandomForest::train(d, params);
+  const RandomForest b = RandomForest::train(d, params);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> probe{rng.uniform(), rng.uniform(), rng.uniform()};
+    EXPECT_DOUBLE_EQ(a.vote_fraction(probe), b.vote_fraction(probe));
+  }
+}
+
+TEST(RandomForest, SingleTreeForestMatchesItsTree) {
+  const Dataset d = separable(11);
+  ForestParams params;
+  params.num_trees = 1;
+  params.features_per_tree = 3;  // all features
+  const RandomForest forest = RandomForest::train(d, params);
+  // With one tree, the vote fraction is always 0 or 1.
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const double v =
+        forest.vote_fraction({rng.uniform(), rng.uniform(), rng.uniform()});
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST(RandomForest, CrossValidationComparableToTree) {
+  const Dataset d = separable(17, 200);
+  const auto forest_cv = stratified_kfold_forest(d, 5, ForestParams{}, 21);
+  const auto tree_cv = stratified_kfold(d, 5, TreeParams{}, 21);
+  EXPECT_GT(forest_cv.accuracy, 0.9);
+  EXPECT_GT(tree_cv.accuracy, 0.9);
+  EXPECT_EQ(forest_cv.confusion.total(), d.size());
+}
+
+TEST(RandomForest, InvalidInputsThrow) {
+  EXPECT_THROW(RandomForest::train(Dataset{}), Error);
+  Dataset d({"a"});
+  d.add({1.0}, Label::kGood);
+  ForestParams bad;
+  bad.num_trees = 0;
+  EXPECT_THROW(RandomForest::train(d, bad), Error);
+  RandomForest untrained;
+  EXPECT_THROW(untrained.predict({1.0}), Error);
+  EXPECT_THROW(stratified_kfold_forest(d, 1, ForestParams{}, 0), Error);
+}
+
+}  // namespace
+}  // namespace drbw::ml

@@ -1,0 +1,260 @@
+// Tests for the workloads layer: Tt-Nn configurations, the proxy-benchmark
+// builder, mini-programs, and the evaluation helpers.
+#include <gtest/gtest.h>
+
+#include "drbw/workloads/evaluation.hpp"
+#include "drbw/workloads/mini.hpp"
+#include "drbw/workloads/suite.hpp"
+#include "drbw/workloads/training.hpp"
+
+#include <map>
+#include <set>
+
+namespace drbw::workloads {
+namespace {
+
+using mem::AddressSpace;
+using topology::Machine;
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  Machine machine_ = Machine::xeon_e5_4650();
+
+  static sim::EngineConfig fast_engine() {
+    sim::EngineConfig cfg;
+    cfg.epoch_cycles = 100'000;
+    cfg.seed = 31;
+    return cfg;
+  }
+};
+
+TEST_F(WorkloadsTest, StandardConfigsMatchPaper) {
+  const auto configs = standard_configs();
+  ASSERT_EQ(configs.size(), 8u);
+  EXPECT_EQ(configs[0].name(), "T16-N4");
+  EXPECT_EQ(configs[3].name(), "T64-N4");
+  EXPECT_EQ(configs[4].name(), "T24-N3");
+  EXPECT_EQ(configs[7].name(), "T32-N2");
+  for (const RunConfig& c : configs) {
+    EXPECT_EQ(c.total_threads % c.num_nodes, 0) << c.name();
+  }
+}
+
+TEST_F(WorkloadsTest, BindingDistributesEvenlyAcrossNodes) {
+  const RunConfig config{16, 4};
+  const auto threads = config.bind(machine_);
+  ASSERT_EQ(threads.size(), 16u);
+  // Paper: "threads 0-3 are bound to node 0, threads 4-7 are in node 1, ..."
+  for (int tid = 0; tid < 16; ++tid) {
+    EXPECT_EQ(machine_.node_of_cpu(threads[static_cast<std::size_t>(tid)].cpu),
+              tid / 4)
+        << "tid " << tid;
+  }
+  // No two threads share a hardware thread.
+  std::set<topology::CpuId> cpus;
+  for (const auto& t : threads) cpus.insert(t.cpu);
+  EXPECT_EQ(cpus.size(), 16u);
+}
+
+TEST_F(WorkloadsTest, T64N4UsesHyperthreads) {
+  const RunConfig config{64, 4};
+  const auto threads = config.bind(machine_);
+  ASSERT_EQ(threads.size(), 64u);
+  std::set<topology::CpuId> cpus;
+  for (const auto& t : threads) cpus.insert(t.cpu);
+  EXPECT_EQ(cpus.size(), 64u);  // all hardware threads engaged
+}
+
+TEST_F(WorkloadsTest, SegmentNodesFollowThreadOwnership) {
+  const RunConfig config{8, 2};
+  const auto nodes = config.segment_nodes();
+  ASSERT_EQ(nodes.size(), 8u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(nodes[static_cast<std::size_t>(i)], 0);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(nodes[static_cast<std::size_t>(i)], 1);
+}
+
+TEST_F(WorkloadsTest, InvalidConfigsThrow) {
+  EXPECT_THROW((RunConfig{15, 4}).bind(machine_), Error);   // not divisible
+  EXPECT_THROW((RunConfig{16, 5}).bind(machine_), Error);   // too many nodes
+  EXPECT_THROW((RunConfig{128, 4}).bind(machine_), Error);  // too many threads
+}
+
+TEST_F(WorkloadsTest, SuiteHasTwentyOneBenchmarksInTableOrder) {
+  const auto suite = make_table5_suite();
+  ASSERT_EQ(suite.size(), 21u);
+  EXPECT_EQ(suite.front()->name(), "swaptions");
+  EXPECT_EQ(suite.back()->name(), "sp");
+  // Case counts = inputs x 8 configs must match Table V's column.
+  const std::map<std::string, int> expected = {
+      {"swaptions", 32}, {"blackscholes", 32}, {"bodytrack", 16},
+      {"freqmine", 32},  {"ferret", 32},       {"fluidanimate", 32},
+      {"x264", 32},      {"streamcluster", 16}, {"irsmk", 24},
+      {"amg2006", 8},    {"nw", 24},            {"bt", 24},
+      {"cg", 24},        {"dc", 16},            {"ep", 24},
+      {"ft", 24},        {"is", 24},            {"lu", 24},
+      {"mg", 24},        {"ua", 24},            {"sp", 24}};
+  int total = 0;
+  for (const auto& b : suite) {
+    const int cases = static_cast<int>(b->num_inputs()) * 8;
+    EXPECT_EQ(cases, expected.at(b->name())) << b->name();
+    total += cases;
+  }
+  EXPECT_EQ(total, 512);  // Table V's overall case count
+}
+
+TEST_F(WorkloadsTest, LookupByNameAndUnknown) {
+  EXPECT_EQ(make_suite_benchmark("Streamcluster")->name(), "streamcluster");
+  EXPECT_EQ(make_suite_benchmark("lulesh")->name(), "lulesh");
+  EXPECT_THROW(make_suite_benchmark("doom3"), Error);
+}
+
+TEST_F(WorkloadsTest, BuilderSplitsPartitionedArraysAcrossThreads) {
+  AddressSpace space(machine_);
+  const auto bench = make_suite_benchmark("irsmk");
+  const RunConfig config{16, 4};
+  const auto built =
+      bench->build(space, machine_, config, PlacementMode::kOriginal, 1);
+  ASSERT_EQ(built.threads.size(), 16u);
+  ASSERT_EQ(built.phases.size(), 1u);
+  // 29 arrays, one burst per array per thread.
+  for (const auto& work : built.phases[0].work) {
+    EXPECT_EQ(work.bursts.size(), 29u);
+  }
+  // Shares are disjoint and ordered for one array.
+  const auto& b0 = built.phases[0].work[0].bursts[0];
+  const auto& b1 = built.phases[0].work[1].bursts[0];
+  EXPECT_EQ(b0.object, b1.object);
+  EXPECT_EQ(b0.offset_bytes + b0.span_bytes, b1.offset_bytes);
+}
+
+TEST_F(WorkloadsTest, PlacementModesChangeHomes) {
+  const auto bench = make_suite_benchmark("streamcluster");
+  const RunConfig config{16, 4};
+
+  AddressSpace orig_space(machine_);
+  bench->build(orig_space, machine_, config, PlacementMode::kOriginal, 1);
+  // Master allocation: everything resident on node 0.
+  auto bytes = orig_space.resident_bytes_per_node();
+  EXPECT_GT(bytes[0], 0u);
+  EXPECT_EQ(bytes[1] + bytes[2] + bytes[3], 0u);
+
+  AddressSpace int_space(machine_);
+  bench->build(int_space, machine_, config, PlacementMode::kInterleave, 1);
+  bytes = int_space.resident_bytes_per_node();
+  for (int n = 0; n < 4; ++n) EXPECT_GT(bytes[static_cast<std::size_t>(n)], 0u);
+
+  // Replicate mode: `block` is resident everywhere, so totals exceed the
+  // original placement's footprint.
+  AddressSpace rep_space(machine_);
+  bench->build(rep_space, machine_, config, PlacementMode::kReplicate, 1);
+  const auto rep_bytes = rep_space.resident_bytes_per_node();
+  EXPECT_GT(rep_bytes[1], 0u);  // replica on node 1
+}
+
+TEST_F(WorkloadsTest, StaticArraysInvisibleToHeapTracker) {
+  AddressSpace space(machine_);
+  const auto bench = make_suite_benchmark("sp");
+  bench->build(space, machine_, RunConfig{16, 4}, PlacementMode::kOriginal, 2);
+  const auto events = space.drain_events();
+  for (const auto& e : events) {
+    EXPECT_EQ(e.site.label.find("static"), std::string::npos)
+        << "static region leaked into malloc stream: " << e.site.label;
+  }
+}
+
+TEST_F(WorkloadsTest, MiniProgramSpecsAreWellFormed) {
+  for (const ProxySpec& spec :
+       {sumv_spec(64 << 20, true), dotv_spec(64 << 20, false),
+        countv_spec(64 << 20, true), bandit_spec(4, 1)}) {
+    const ProxyBenchmark bench(spec);
+    EXPECT_EQ(bench.suite(), "mini");
+    AddressSpace space(machine_);
+    const auto built = bench.build(space, machine_, RunConfig{2, 1},
+                                   PlacementMode::kOriginal, 0);
+    EXPECT_EQ(built.threads.size(), 2u);
+  }
+  EXPECT_EQ(dotv_spec(1 << 20, true).arrays.size(), 2u);  // two vectors
+  EXPECT_THROW(bandit_spec(0, 0), Error);
+}
+
+TEST_F(WorkloadsTest, BanditStreamsPropagateToBursts) {
+  AddressSpace space(machine_);
+  const ProxyBenchmark bench(bandit_spec(8, 1));
+  const auto built = bench.build(space, machine_, RunConfig{1, 1},
+                                 PlacementMode::kOriginal, 0);
+  ASSERT_EQ(built.phases[0].work[0].bursts.size(), 1u);
+  const auto& burst = built.phases[0].work[0].bursts[0];
+  EXPECT_EQ(burst.pattern, sim::Pattern::kPointerChaseConflict);
+  EXPECT_EQ(burst.parallel_streams, 8u);
+}
+
+TEST_F(WorkloadsTest, MasterAllocVsParallelInitPlacement) {
+  // sumv with master_alloc: node 0 only.  Without: co-located shares.
+  const RunConfig config{8, 2};
+  AddressSpace master_space(machine_);
+  ProxyBenchmark(sumv_spec(64 << 20, true))
+      .build(master_space, machine_, config, PlacementMode::kOriginal, 0);
+  auto bytes = master_space.resident_bytes_per_node();
+  EXPECT_EQ(bytes[1], 0u);
+
+  AddressSpace parallel_space(machine_);
+  ProxyBenchmark(sumv_spec(64 << 20, false))
+      .build(parallel_space, machine_, config, PlacementMode::kOriginal, 0);
+  bytes = parallel_space.resident_bytes_per_node();
+  EXPECT_GT(bytes[0], 0u);
+  EXPECT_GT(bytes[1], 0u);
+}
+
+TEST_F(WorkloadsTest, EvaluationCaseGroundTruthConsistency) {
+  // A severely contended benchmark case must be actual-rmc with a large
+  // interleave speedup; a cache-resident one must not.
+  EvaluationOptions opt;
+  opt.engine = fast_engine();
+  const ml::Classifier model = train_default_classifier(machine_, 77);
+  const DrBw tool(machine_, model);
+
+  const auto sc = make_suite_benchmark("streamcluster");
+  const auto hot = evaluate_case(machine_, tool, *sc, 1, RunConfig{64, 4}, opt, 5);
+  EXPECT_TRUE(hot.actual_rmc);
+  EXPECT_TRUE(hot.detected_rmc);
+  EXPECT_GT(hot.interleave_speedup, 1.5);
+  // The contention is on the channels into node 0 (block's home).
+  for (const auto& ch : hot.contended) EXPECT_EQ(ch.dst, 0);
+
+  const auto ep = make_suite_benchmark("ep");
+  const auto cold = evaluate_case(machine_, tool, *ep, 2, RunConfig{64, 4}, opt, 6);
+  EXPECT_FALSE(cold.actual_rmc);
+  EXPECT_FALSE(cold.detected_rmc);
+  EXPECT_NEAR(cold.interleave_speedup, 1.0, 0.05);
+}
+
+TEST_F(WorkloadsTest, OptimizationStudyInvariants) {
+  EvaluationOptions opt;
+  opt.engine = fast_engine();
+  const auto bench = make_suite_benchmark("irsmk");
+  const auto study = study_optimization(
+      machine_, *bench, 2, RunConfig{32, 4},
+      {PlacementMode::kColocate, PlacementMode::kInterleave}, opt);
+  // Original always present, speedup(original) == 1.
+  EXPECT_DOUBLE_EQ(study.speedup(PlacementMode::kOriginal), 1.0);
+  // Co-location eliminates (nearly) all remote accesses for IRSmk.
+  EXPECT_GT(study.remote_access_reduction(PlacementMode::kColocate), 0.95);
+  EXPECT_GT(study.speedup(PlacementMode::kColocate), 1.2);
+  EXPECT_GT(study.latency_reduction(PlacementMode::kColocate), 0.2);
+  EXPECT_THROW(study.run(PlacementMode::kReplicate), Error);
+}
+
+TEST_F(WorkloadsTest, OverheadMeasurementSmall) {
+  EvaluationOptions opt;
+  opt.engine = fast_engine();
+  const auto bench = make_suite_benchmark("amg2006");
+  const auto overhead = measure_overhead(machine_, *bench, 0, RunConfig{64, 4}, opt);
+  EXPECT_GT(overhead.baseline_seconds, 0.0);
+  EXPECT_GT(overhead.profiled_seconds, 0.0);
+  // Abstract's claim: less than 10% runtime overhead.
+  EXPECT_LT(overhead.overhead_percent, 10.0);
+  EXPECT_GT(overhead.overhead_percent, -10.0);
+}
+
+}  // namespace
+}  // namespace drbw::workloads
