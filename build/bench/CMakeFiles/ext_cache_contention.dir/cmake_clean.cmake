@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_contention.dir/ext_cache_contention.cpp.o"
+  "CMakeFiles/ext_cache_contention.dir/ext_cache_contention.cpp.o.d"
+  "ext_cache_contention"
+  "ext_cache_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cf_distribution.dir/fig4_cf_distribution.cpp.o"
+  "CMakeFiles/fig4_cf_distribution.dir/fig4_cf_distribution.cpp.o.d"
+  "fig4_cf_distribution"
+  "fig4_cf_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cf_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_irsmk_speedup.cpp" "bench/CMakeFiles/fig6_irsmk_speedup.dir/fig6_irsmk_speedup.cpp.o" "gcc" "bench/CMakeFiles/fig6_irsmk_speedup.dir/fig6_irsmk_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drbw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_tool.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_diagnoser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_pebs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

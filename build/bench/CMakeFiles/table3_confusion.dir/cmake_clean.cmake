@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_confusion.dir/table3_confusion.cpp.o"
+  "CMakeFiles/table3_confusion.dir/table3_confusion.cpp.o.d"
+  "table3_confusion"
+  "table3_confusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

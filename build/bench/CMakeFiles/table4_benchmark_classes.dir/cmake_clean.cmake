@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_benchmark_classes.dir/table4_benchmark_classes.cpp.o"
+  "CMakeFiles/table4_benchmark_classes.dir/table4_benchmark_classes.cpp.o.d"
+  "table4_benchmark_classes"
+  "table4_benchmark_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_benchmark_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_case_matrix.dir/table5_case_matrix.cpp.o"
+  "CMakeFiles/table5_case_matrix.dir/table5_case_matrix.cpp.o.d"
+  "table5_case_matrix"
+  "table5_case_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_case_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_accuracy.dir/table6_accuracy.cpp.o"
+  "CMakeFiles/table6_accuracy.dir/table6_accuracy.cpp.o.d"
+  "table6_accuracy"
+  "table6_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

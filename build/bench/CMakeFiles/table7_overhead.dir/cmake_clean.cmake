@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_overhead.dir/table7_overhead.cpp.o"
+  "CMakeFiles/table7_overhead.dir/table7_overhead.cpp.o.d"
+  "table7_overhead"
+  "table7_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_case_studies.dir/table8_case_studies.cpp.o"
+  "CMakeFiles/table8_case_studies.dir/table8_case_studies.cpp.o.d"
+  "table8_case_studies"
+  "table8_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

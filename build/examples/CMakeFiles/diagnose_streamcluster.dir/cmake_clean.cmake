@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_streamcluster.dir/diagnose_streamcluster.cpp.o"
+  "CMakeFiles/diagnose_streamcluster.dir/diagnose_streamcluster.cpp.o.d"
+  "diagnose_streamcluster"
+  "diagnose_streamcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_streamcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

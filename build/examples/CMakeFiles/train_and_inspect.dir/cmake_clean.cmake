@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_inspect.dir/train_and_inspect.cpp.o"
+  "CMakeFiles/train_and_inspect.dir/train_and_inspect.cpp.o.d"
+  "train_and_inspect"
+  "train_and_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_core.dir/core/heap_tracker.cpp.o"
+  "CMakeFiles/drbw_core.dir/core/heap_tracker.cpp.o.d"
+  "CMakeFiles/drbw_core.dir/core/profiler.cpp.o"
+  "CMakeFiles/drbw_core.dir/core/profiler.cpp.o.d"
+  "libdrbw_core.a"
+  "libdrbw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

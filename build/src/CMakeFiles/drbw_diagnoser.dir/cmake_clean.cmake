@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_diagnoser.dir/diagnoser/advice.cpp.o"
+  "CMakeFiles/drbw_diagnoser.dir/diagnoser/advice.cpp.o.d"
+  "CMakeFiles/drbw_diagnoser.dir/diagnoser/diagnoser.cpp.o"
+  "CMakeFiles/drbw_diagnoser.dir/diagnoser/diagnoser.cpp.o.d"
+  "libdrbw_diagnoser.a"
+  "libdrbw_diagnoser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_diagnoser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_ext.dir/ext/cache_contention.cpp.o"
+  "CMakeFiles/drbw_ext.dir/ext/cache_contention.cpp.o.d"
+  "libdrbw_ext.a"
+  "libdrbw_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_features.dir/features/candidates.cpp.o"
+  "CMakeFiles/drbw_features.dir/features/candidates.cpp.o.d"
+  "CMakeFiles/drbw_features.dir/features/selected.cpp.o"
+  "CMakeFiles/drbw_features.dir/features/selected.cpp.o.d"
+  "libdrbw_features.a"
+  "libdrbw_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_mem.dir/mem/address_space.cpp.o"
+  "CMakeFiles/drbw_mem.dir/mem/address_space.cpp.o.d"
+  "libdrbw_mem.a"
+  "libdrbw_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

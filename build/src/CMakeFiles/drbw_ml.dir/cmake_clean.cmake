@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/drbw_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/drbw_ml.dir/ml/decision_tree.cpp.o"
+  "CMakeFiles/drbw_ml.dir/ml/decision_tree.cpp.o.d"
+  "CMakeFiles/drbw_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/drbw_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/drbw_ml.dir/ml/random_forest.cpp.o"
+  "CMakeFiles/drbw_ml.dir/ml/random_forest.cpp.o.d"
+  "libdrbw_ml.a"
+  "libdrbw_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_pebs.dir/pebs/sampler.cpp.o"
+  "CMakeFiles/drbw_pebs.dir/pebs/sampler.cpp.o.d"
+  "CMakeFiles/drbw_pebs.dir/pebs/trace_io.cpp.o"
+  "CMakeFiles/drbw_pebs.dir/pebs/trace_io.cpp.o.d"
+  "libdrbw_pebs.a"
+  "libdrbw_pebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_pebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

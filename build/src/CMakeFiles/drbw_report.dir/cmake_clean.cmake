@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_report.dir/report/markdown.cpp.o"
+  "CMakeFiles/drbw_report.dir/report/markdown.cpp.o.d"
+  "libdrbw_report.a"
+  "libdrbw_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

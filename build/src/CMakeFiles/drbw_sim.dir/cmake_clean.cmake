@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_sim.dir/sim/access_pattern.cpp.o"
+  "CMakeFiles/drbw_sim.dir/sim/access_pattern.cpp.o.d"
+  "CMakeFiles/drbw_sim.dir/sim/bandwidth_model.cpp.o"
+  "CMakeFiles/drbw_sim.dir/sim/bandwidth_model.cpp.o.d"
+  "CMakeFiles/drbw_sim.dir/sim/cache_model.cpp.o"
+  "CMakeFiles/drbw_sim.dir/sim/cache_model.cpp.o.d"
+  "CMakeFiles/drbw_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/drbw_sim.dir/sim/engine.cpp.o.d"
+  "libdrbw_sim.a"
+  "libdrbw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrbw_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_tool.dir/tool/drbw.cpp.o"
+  "CMakeFiles/drbw_tool.dir/tool/drbw.cpp.o.d"
+  "libdrbw_tool.a"
+  "libdrbw_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

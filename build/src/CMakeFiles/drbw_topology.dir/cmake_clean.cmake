@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_topology.dir/topology/machine.cpp.o"
+  "CMakeFiles/drbw_topology.dir/topology/machine.cpp.o.d"
+  "libdrbw_topology.a"
+  "libdrbw_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_util.dir/util/ascii_chart.cpp.o"
+  "CMakeFiles/drbw_util.dir/util/ascii_chart.cpp.o.d"
+  "CMakeFiles/drbw_util.dir/util/cli.cpp.o"
+  "CMakeFiles/drbw_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/drbw_util.dir/util/csv.cpp.o"
+  "CMakeFiles/drbw_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/drbw_util.dir/util/json.cpp.o"
+  "CMakeFiles/drbw_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/drbw_util.dir/util/stats.cpp.o"
+  "CMakeFiles/drbw_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/drbw_util.dir/util/strings.cpp.o"
+  "CMakeFiles/drbw_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/drbw_util.dir/util/table.cpp.o"
+  "CMakeFiles/drbw_util.dir/util/table.cpp.o.d"
+  "libdrbw_util.a"
+  "libdrbw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

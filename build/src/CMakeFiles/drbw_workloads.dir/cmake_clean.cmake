@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_workloads.dir/workloads/benchmark.cpp.o"
+  "CMakeFiles/drbw_workloads.dir/workloads/benchmark.cpp.o.d"
+  "CMakeFiles/drbw_workloads.dir/workloads/config.cpp.o"
+  "CMakeFiles/drbw_workloads.dir/workloads/config.cpp.o.d"
+  "CMakeFiles/drbw_workloads.dir/workloads/evaluation.cpp.o"
+  "CMakeFiles/drbw_workloads.dir/workloads/evaluation.cpp.o.d"
+  "CMakeFiles/drbw_workloads.dir/workloads/mini.cpp.o"
+  "CMakeFiles/drbw_workloads.dir/workloads/mini.cpp.o.d"
+  "CMakeFiles/drbw_workloads.dir/workloads/suite.cpp.o"
+  "CMakeFiles/drbw_workloads.dir/workloads/suite.cpp.o.d"
+  "CMakeFiles/drbw_workloads.dir/workloads/training.cpp.o"
+  "CMakeFiles/drbw_workloads.dir/workloads/training.cpp.o.d"
+  "libdrbw_workloads.a"
+  "libdrbw_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

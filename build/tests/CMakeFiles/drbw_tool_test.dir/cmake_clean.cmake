@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_tool_test.dir/drbw_tool_test.cpp.o"
+  "CMakeFiles/drbw_tool_test.dir/drbw_tool_test.cpp.o.d"
+  "drbw_tool_test"
+  "drbw_tool_test.pdb"
+  "drbw_tool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_tool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_contention_test.dir/ext_cache_contention_test.cpp.o"
+  "CMakeFiles/ext_cache_contention_test.dir/ext_cache_contention_test.cpp.o.d"
+  "ext_cache_contention_test"
+  "ext_cache_contention_test.pdb"
+  "ext_cache_contention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opteron_test.dir/opteron_test.cpp.o"
+  "CMakeFiles/opteron_test.dir/opteron_test.cpp.o.d"
+  "opteron_test"
+  "opteron_test.pdb"
+  "opteron_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opteron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

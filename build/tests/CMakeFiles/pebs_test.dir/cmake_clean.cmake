@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebs_test.dir/pebs_test.cpp.o"
+  "CMakeFiles/pebs_test.dir/pebs_test.cpp.o.d"
+  "pebs_test"
+  "pebs_test.pdb"
+  "pebs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbw_cli.dir/drbw_cli.cpp.o"
+  "CMakeFiles/drbw_cli.dir/drbw_cli.cpp.o.d"
+  "drbw"
+  "drbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbw_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
