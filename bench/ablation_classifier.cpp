@@ -117,14 +117,14 @@ int main(int argc, char** argv) {
     for (const std::uint64_t period : {500ull, 2000ull, 8000ull, 32000ull}) {
       workloads::TrainingOptions train_options;
       train_options.seed = harness->seed;
+      train_options.jobs = harness->jobs;
       train_options.engine.sample_period = period;
       const auto period_set =
           workloads::generate_training_set(harness->machine, train_options);
       const auto model = ml::Classifier::train(period_set.dataset(),
                                                workloads::default_tree_params());
 
-      workloads::EvaluationOptions eval_options;
-      eval_options.seed = harness->seed;
+      workloads::EvaluationOptions eval_options = harness->evaluation_options();
       eval_options.engine.sample_period = period;
       const auto result = workloads::evaluate_suite(
           harness->machine, model, workloads::make_table5_suite(), eval_options);

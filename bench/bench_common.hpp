@@ -20,6 +20,7 @@
 #include "drbw/util/csv.hpp"
 #include "drbw/util/strings.hpp"
 #include "drbw/util/table.hpp"
+#include "drbw/util/task_pool.hpp"
 #include "drbw/workloads/evaluation.hpp"
 #include "drbw/workloads/suite.hpp"
 #include "drbw/workloads/training.hpp"
@@ -29,6 +30,7 @@ namespace drbw::bench {
 struct Harness {
   topology::Machine machine = topology::Machine::xeon_e5_4650();
   std::uint64_t seed = 2017;
+  int jobs = 0;          // 0 = one per hardware thread
   std::string csv_path;  // empty = no CSV artifact
 
   /// Standard flags shared by all harnesses.  Returns false on --help.
@@ -37,10 +39,12 @@ struct Harness {
                                           const std::string& what) {
     ArgParser parser(name, what);
     parser.add_option("seed", "training/workload RNG seed", "2017");
+    parser.add_option("jobs", "parallel runs (0 = hardware threads)", "0");
     parser.add_option("csv", "also write the data series to this CSV file", "");
     if (!parser.parse(argc, argv)) return std::nullopt;
     Harness h;
     h.seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+    h.jobs = static_cast<int>(parser.option_int("jobs"));
     h.csv_path = parser.option("csv");
     return h;
   }
@@ -48,7 +52,14 @@ struct Harness {
   ml::Classifier train() const {
     std::cout << "[drbw] training classifier on the 192 mini-program runs "
                  "(Table II)...\n";
-    return workloads::train_default_classifier(machine, seed);
+    return workloads::train_default_classifier(machine, seed, jobs);
+  }
+
+  workloads::EvaluationOptions evaluation_options() const {
+    workloads::EvaluationOptions options;
+    options.seed = seed;
+    options.jobs = jobs;
+    return options;
   }
 
   void maybe_csv(const std::function<void(CsvWriter&)>& emit) const {
@@ -79,22 +90,27 @@ inline std::vector<workloads::OptimizationStudy> speedup_figure(
   workloads::EvaluationOptions options;
   options.seed = harness.seed;
 
-  std::vector<workloads::OptimizationStudy> studies;
+  // Every (config, mode) study is an independent seeded run: fan the
+  // configurations out across the pool, then render bars in config order.
+  std::vector<workloads::OptimizationStudy> studies(configs.size());
+  util::TaskPool pool(harness.jobs);
+  pool.parallel_for(configs.size(), [&](std::size_t c) {
+    studies[c] = workloads::study_optimization(harness.machine, *bench, input,
+                                               configs[c], modes, options);
+  });
+
   BarChart chart("speedup over the original placement", 40);
   std::vector<std::string> series_names;
   for (const auto mode : modes) {
     series_names.emplace_back(workloads::placement_mode_name(mode));
   }
   chart.set_series_names(series_names);
-  for (const auto& config : configs) {
-    auto study = workloads::study_optimization(harness.machine, *bench, input,
-                                               config, modes, options);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
     for (std::size_t m = 0; m < modes.size(); ++m) {
-      chart.add(Bar{config.name() + " " +
+      chart.add(Bar{configs[c].name() + " " +
                         workloads::placement_mode_name(modes[m]),
-                    study.speedup(modes[m]), m});
+                    studies[c].speedup(modes[m]), m});
     }
-    studies.push_back(std::move(study));
   }
   print_block(std::cout,
               chart.render_titled(title + " — input '" +

@@ -1,0 +1,261 @@
+// Microbenchmark for the deterministic parallel run executor and the engine
+// hot path.
+//
+// Measures three things and persists them to BENCH_executor.json:
+//   1. Engine epoch throughput (simulated accesses/s) on a contended
+//      16-thread streaming run — the loop the sparse per-burst home lists
+//      optimize.
+//   2. Training-set generation (the 192 Table II runs) serial vs parallel,
+//      with a checksum proving the jobs=1 and jobs=N sets are identical.
+//   3. RandomForest training serial vs parallel, same identity check.
+//
+// Runs to completion with no arguments, like every other bench binary.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "drbw/ml/random_forest.hpp"
+#include "drbw/sim/engine.hpp"
+#include "drbw/util/json.hpp"
+#include "drbw/util/rng.hpp"
+#include "drbw/util/task_pool.hpp"
+
+namespace {
+
+using namespace drbw;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// FNV-1a over a byte string; enough to witness (non-)identity of two
+/// serialized artifacts without keeping both in memory.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void put_bits(std::ostringstream& os, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  os << bits << ',';
+}
+
+std::uint64_t checksum(const workloads::TrainingSet& set) {
+  std::ostringstream os;
+  for (const auto& inst : set.instances) {
+    os << inst.program << '|' << inst.config << '|' << inst.rmc << '|';
+    for (const double v : inst.features.values) put_bits(os, v);
+    put_bits(os, inst.peak_remote_utilization);
+  }
+  return fnv1a(os.str());
+}
+
+std::uint64_t checksum(const ml::RandomForest& forest) {
+  std::ostringstream os;
+  for (const auto& tree : forest.trees()) os << tree.to_json().dump(-1);
+  for (const auto& map : forest.feature_maps()) {
+    for (const std::size_t f : map) os << f << ',';
+  }
+  return fnv1a(os.str());
+}
+
+/// One contended engine run: 16 threads across 4 nodes streaming a
+/// node-0-bound gigabyte (the classic remote-contention shape).
+sim::RunResult contended_run(const topology::Machine& machine,
+                             std::uint64_t seed,
+                             std::uint64_t accesses_per_thread) {
+  mem::AddressSpace space(machine);
+  const auto obj = space.allocate("micro.c:1 data", 1ull << 30,
+                                  mem::PlacementSpec::bind(0));
+  std::vector<sim::SimThread> threads;
+  sim::Phase phase{"main", {}};
+  std::uint32_t tid = 0;
+  for (int n = 0; n < 4; ++n) {
+    for (int t = 0; t < 4; ++t) {
+      threads.push_back(
+          {tid++, machine.cpus_of_node(n)[static_cast<std::size_t>(t)]});
+      phase.work.push_back(
+          sim::ThreadWork{{sim::seq_read(obj, accesses_per_thread)}, 1.0});
+    }
+  }
+  sim::EngineConfig cfg;
+  cfg.epoch_cycles = 100'000;
+  cfg.seed = seed;
+  sim::Engine engine(machine, space, cfg);
+  return engine.run(threads, {phase});
+}
+
+ml::Dataset synthetic_dataset(std::size_t rows) {
+  Rng rng(4);
+  ml::Dataset data;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row(13);
+    for (double& v : row) v = rng.uniform();
+    data.add(std::move(row),
+             rng.bernoulli(0.4) ? ml::Label::kRmc : ml::Label::kGood);
+  }
+  return data;
+}
+
+}  // namespace
+
+int run_main(int argc, char** argv) {
+  ArgParser parser("micro_executor",
+                   "Time the parallel run executor and engine hot path");
+  parser.add_option("jobs", "parallel jobs (0 = hardware threads)", "0");
+  parser.add_option("reps", "repetitions per measurement", "3");
+  parser.add_option("engine-accesses",
+                    "per-thread accesses in the engine throughput run "
+                    "(bigger = steadier timing)", "400000");
+  parser.add_option("out", "JSON artifact path", "BENCH_executor.json");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const int jobs = static_cast<int>(parser.option_int("jobs"));
+  const int reps = std::max(1, static_cast<int>(parser.option_int("reps")));
+  const unsigned resolved = util::TaskPool::resolve_jobs(jobs);
+  const auto machine = topology::Machine::xeon_e5_4650();
+
+  bench::heading("micro_executor — parallel executor & engine hot path");
+  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+            << ", parallel jobs: " << resolved << ", reps: " << reps << "\n\n";
+
+  Json result = JsonObject{};
+  result.set("machine", machine.spec().name);
+  result.set("hardware_threads",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  result.set("jobs", static_cast<std::size_t>(resolved));
+  result.set("reps", static_cast<std::size_t>(reps));
+
+  // 1. Engine epoch throughput. ------------------------------------------ //
+  {
+    double best_rate = 0.0;
+    std::uint64_t accesses = 0;
+    const auto per_thread =
+        static_cast<std::uint64_t>(parser.option_int("engine-accesses"));
+    for (int r = 0; r < reps; ++r) {
+      const auto start = Clock::now();
+      const auto run =
+          contended_run(machine, 7 + static_cast<std::uint64_t>(r), per_thread);
+      const double elapsed = seconds_since(start);
+      accesses = run.total_accesses;
+      best_rate = std::max(best_rate,
+                           static_cast<double>(run.total_accesses) / elapsed);
+    }
+    std::cout << "engine throughput (16-thread contended run, "
+              << format_count(accesses) << " accesses): best "
+              << format_fixed(best_rate / 1e6, 2) << " M accesses/s\n";
+    Json engine = JsonObject{};
+    engine.set("accesses_per_run", accesses);
+    engine.set("best_accesses_per_second", best_rate);
+    result.set("engine_throughput", std::move(engine));
+  }
+
+  // 2. Training-set generation, serial vs parallel. ---------------------- //
+  {
+    workloads::TrainingOptions options;
+    options.seed = 2017;
+    double serial_s = 1e300;
+    double parallel_s = 1e300;
+    std::uint64_t serial_sum = 0;
+    std::uint64_t parallel_sum = 0;
+    for (int r = 0; r < reps; ++r) {
+      options.jobs = 1;
+      auto start = Clock::now();
+      const auto serial = workloads::generate_training_set(machine, options);
+      serial_s = std::min(serial_s, seconds_since(start));
+      serial_sum = checksum(serial);
+
+      options.jobs = jobs;
+      start = Clock::now();
+      const auto parallel = workloads::generate_training_set(machine, options);
+      parallel_s = std::min(parallel_s, seconds_since(start));
+      parallel_sum = checksum(parallel);
+    }
+    const bool identical = serial_sum == parallel_sum;
+    const double speedup = serial_s / parallel_s;
+    std::cout << "training-set generation (192 runs): serial "
+              << format_fixed(serial_s, 3) << " s, jobs=" << resolved << " "
+              << format_fixed(parallel_s, 3) << " s ("
+              << format_fixed(speedup, 2) << "x), outputs "
+              << (identical ? "identical" : "DIFFERENT!") << '\n';
+    Json training = JsonObject{};
+    training.set("serial_seconds", serial_s);
+    training.set("parallel_seconds", parallel_s);
+    training.set("speedup", speedup);
+    training.set("identical", identical);
+    result.set("training_set_generation", std::move(training));
+    DRBW_CHECK_MSG(identical,
+                   "jobs=1 and jobs=" << resolved
+                                      << " training sets diverged — the "
+                                         "determinism contract is broken");
+  }
+
+  // 3. RandomForest training, serial vs parallel. ------------------------ //
+  {
+    const ml::Dataset data = synthetic_dataset(2048);
+    ml::ForestParams params;
+    params.seed = 42;
+    params.num_trees = 64;
+    double serial_s = 1e300;
+    double parallel_s = 1e300;
+    std::uint64_t serial_sum = 0;
+    std::uint64_t parallel_sum = 0;
+    for (int r = 0; r < reps; ++r) {
+      params.jobs = 1;
+      auto start = Clock::now();
+      const auto serial = ml::RandomForest::train(data, params);
+      serial_s = std::min(serial_s, seconds_since(start));
+      serial_sum = checksum(serial);
+
+      params.jobs = jobs;
+      start = Clock::now();
+      const auto parallel = ml::RandomForest::train(data, params);
+      parallel_s = std::min(parallel_s, seconds_since(start));
+      parallel_sum = checksum(parallel);
+    }
+    const bool identical = serial_sum == parallel_sum;
+    const double speedup = serial_s / parallel_s;
+    std::cout << "random-forest training (64 trees, 2048 rows): serial "
+              << format_fixed(serial_s, 3) << " s, jobs=" << resolved << " "
+              << format_fixed(parallel_s, 3) << " s ("
+              << format_fixed(speedup, 2) << "x), outputs "
+              << (identical ? "identical" : "DIFFERENT!") << '\n';
+    Json forest = JsonObject{};
+    forest.set("serial_seconds", serial_s);
+    forest.set("parallel_seconds", parallel_s);
+    forest.set("speedup", speedup);
+    forest.set("identical", identical);
+    result.set("random_forest_training", std::move(forest));
+    DRBW_CHECK_MSG(identical,
+                   "jobs=1 and jobs=" << resolved
+                                      << " forests diverged — the determinism "
+                                         "contract is broken");
+  }
+
+  const std::string path = parser.option("out");
+  std::ofstream out(path);
+  DRBW_CHECK_MSG(out.good(), "cannot open " << path);
+  out << result.dump(2) << '\n';
+  std::cout << "\nwrote " << path << '\n';
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "micro_executor: " << e.what() << '\n';
+    return 1;
+  }
+}

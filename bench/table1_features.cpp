@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   workloads::TrainingOptions options;
   options.seed = harness->seed;
+  options.jobs = harness->jobs;
   options.with_candidates = true;
   std::cout << "[drbw] collecting candidate statistics over 192 runs...\n";
   const auto set = workloads::generate_training_set(harness->machine, options);

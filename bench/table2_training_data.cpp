@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
 
   workloads::TrainingOptions options;
   options.seed = harness->seed;
+  options.jobs = harness->jobs;
   const auto set = workloads::generate_training_set(harness->machine, options);
 
   TablePrinter table({{"mini-programs", Align::kLeft},

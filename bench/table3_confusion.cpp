@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   workloads::TrainingOptions options;
   options.seed = harness->seed;
+  options.jobs = harness->jobs;
   const auto set = workloads::generate_training_set(harness->machine, options);
   const auto data = set.dataset();
 

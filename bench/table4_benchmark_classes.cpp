@@ -17,8 +17,7 @@ int main(int argc, char** argv) {
   heading("Table IV — benchmark classification (§VII-A)");
 
   std::vector<std::string> good_list, rmc_list;
-  workloads::EvaluationOptions options;
-  options.seed = harness->seed;
+  workloads::EvaluationOptions options = harness->evaluation_options();
 
   std::uint64_t seed = harness->seed ^ 0xabc;
   for (const auto& bench : workloads::make_table5_suite()) {

@@ -13,8 +13,7 @@ int main(int argc, char** argv) {
   if (!harness) return 0;
 
   const ml::Classifier model = harness->train();
-  workloads::EvaluationOptions options;
-  options.seed = harness->seed;
+  workloads::EvaluationOptions options = harness->evaluation_options();
   std::cout << "[drbw] sweeping 21 benchmarks x inputs x 8 configurations "
                "(each case: profiled run + original/interleave timing)...\n";
   const auto suite = workloads::make_table5_suite();

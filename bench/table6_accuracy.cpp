@@ -13,8 +13,7 @@ int main(int argc, char** argv) {
   if (!harness) return 0;
 
   const ml::Classifier model = harness->train();
-  workloads::EvaluationOptions options;
-  options.seed = harness->seed;
+  workloads::EvaluationOptions options = harness->evaluation_options();
   std::cout << "[drbw] sweeping the full evaluation suite...\n";
   const auto result = workloads::evaluate_suite(
       harness->machine, model, workloads::make_table5_suite(), options);

@@ -16,8 +16,7 @@ int main(int argc, char** argv) {
 
   const char* codes[] = {"irsmk", "amg2006", "streamcluster", "nw", "sp",
                          "lulesh"};
-  workloads::EvaluationOptions options;
-  options.seed = harness->seed;
+  workloads::EvaluationOptions options = harness->evaluation_options();
 
   TablePrinter table({{"Code", Align::kLeft},
                       {"without profiling (ms)", Align::kRight},

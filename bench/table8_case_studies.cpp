@@ -14,8 +14,7 @@ int main(int argc, char** argv) {
       "Reproduces the §VIII-E/F/G case studies: NW, SP, Blackscholes");
   if (!harness) return 0;
 
-  workloads::EvaluationOptions options;
-  options.seed = harness->seed;
+  workloads::EvaluationOptions options = harness->evaluation_options();
 
   heading("§VIII-E — Rodinia NW: co-locating reference/input_itemsets");
   {

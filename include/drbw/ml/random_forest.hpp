@@ -19,6 +19,10 @@ struct ForestParams {
   int features_per_tree = 0;
   TreeParams tree;
   std::uint64_t seed = 1;
+  /// Concurrent tree builds (and CV folds): 1 = serial, 0 = one per
+  /// hardware thread.  Every tree draws from its own seed-forked RNG
+  /// stream, so the trained forest is identical at any value.
+  int jobs = 1;
 
   ForestParams() {
     // Individual trees are grown deeper than Fig. 3's tree; bagging
@@ -41,6 +45,11 @@ class RandomForest {
 
   std::size_t size() const { return trees_.size(); }
   const std::vector<std::string>& feature_names() const { return feature_names_; }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+  /// Per-tree feature subsets (tree column -> dataset column), by tree.
+  const std::vector<std::vector<std::size_t>>& feature_maps() const {
+    return feature_maps_;
+  }
 
  private:
   Normalizer normalizer_;

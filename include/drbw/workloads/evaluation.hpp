@@ -26,6 +26,10 @@ struct EvaluationOptions {
   /// §VII-B's predefined threshold: interleave speedup > 10% => actual rmc.
   double ground_truth_speedup = 1.10;
   std::uint64_t seed = 4242;
+  /// Concurrent cases in evaluate_suite / modes in study_optimization
+  /// (each case owns its seed and address space): 1 = serial, 0 = one per
+  /// hardware thread.  Results are identical at every value.
+  int jobs = 1;
   sim::EngineConfig engine;
   std::vector<RunConfig> configs = standard_configs();
 

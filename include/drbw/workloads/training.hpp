@@ -60,6 +60,10 @@ struct TrainingOptions {
   /// Also compute the candidate catalogue per run (slower; needed only for
   /// the Table I selection study).
   bool with_candidates = false;
+  /// Concurrent mini-program runs (each is an independent simulation with
+  /// its own seed and address space): 1 = serial, 0 = one per hardware
+  /// thread.  The generated set is identical at every value.
+  int jobs = 1;
   sim::EngineConfig engine;  // epoch size etc.; profiling stays on
 
   TrainingOptions() { engine.epoch_cycles = 200'000; }
@@ -70,9 +74,11 @@ struct TrainingOptions {
 TrainingSet generate_training_set(const topology::Machine& machine,
                                   const TrainingOptions& options = {});
 
-/// Convenience: generate + train the deployable classifier.
+/// Convenience: generate + train the deployable classifier.  `jobs` fans
+/// the 192 runs out over a util::TaskPool (1 = serial, 0 = hardware).
 ml::Classifier train_default_classifier(const topology::Machine& machine,
-                                        std::uint64_t seed = 2017);
+                                        std::uint64_t seed = 2017,
+                                        int jobs = 1);
 
 /// The tree parameters used for the paper-sized training set.
 ml::TreeParams default_tree_params();

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "drbw/util/rng.hpp"
+#include "drbw/util/task_pool.hpp"
 
 namespace drbw::ml {
 
@@ -31,8 +32,17 @@ RandomForest RandomForest::train(const Dataset& data, ForestParams params) {
                 std::max(2.0, std::sqrt(static_cast<double>(total_features))));
   per_tree = std::min(per_tree, total_features);
 
-  Rng rng(params.seed);
-  for (int t = 0; t < params.num_trees; ++t) {
+  // Each tree draws bootstrap rows and its feature subset from an RNG
+  // stream forked off the forest seed by tree index — no shared stream, so
+  // trees can be grown on any worker in any order and the forest comes out
+  // identical for every `jobs` value.
+  const Rng base(params.seed);
+  forest.trees_.resize(static_cast<std::size_t>(params.num_trees));
+  forest.feature_maps_.resize(static_cast<std::size_t>(params.num_trees));
+  util::TaskPool pool(params.jobs);
+  pool.parallel_for(static_cast<std::size_t>(params.num_trees), [&](std::size_t t) {
+    Rng rng = base.fork(t);
+
     // Bootstrap rows.
     std::vector<std::size_t> rows(normalized.size());
     for (auto& r : rows) r = rng.bounded(normalized.size());
@@ -56,9 +66,9 @@ RandomForest RandomForest::train(const Dataset& data, ForestParams params) {
     }
     // A bootstrap can come out single-class; such a tree is a valid
     // constant voter.
-    forest.trees_.push_back(DecisionTree::train(sample, params.tree));
-    forest.feature_maps_.push_back(std::move(subset));
-  }
+    forest.trees_[t] = DecisionTree::train(sample, params.tree);
+    forest.feature_maps_[t] = std::move(subset);
+  });
   return forest;
 }
 
@@ -113,24 +123,30 @@ CrossValidationResult stratified_kfold_forest(const Dataset& data, int folds,
     }
   }
 
+  // Folds train on disjoint seeds and merge order-independent counts, so
+  // they parallelize cleanly; per-fold results land in their own slot and
+  // merge in fold order to keep the result identical at any `jobs`.
   CrossValidationResult result;
   result.folds = folds;
-  for (int f = 0; f < folds; ++f) {
+  std::vector<ConfusionMatrix> fold_confusion(static_cast<std::size_t>(folds));
+  util::TaskPool pool(params.jobs);
+  pool.parallel_for(static_cast<std::size_t>(folds), [&](std::size_t f) {
     std::vector<std::size_t> train_idx;
     for (int g = 0; g < folds; ++g) {
-      if (g == f) continue;
+      if (g == static_cast<int>(f)) continue;
       train_idx.insert(train_idx.end(),
                        fold_members[static_cast<std::size_t>(g)].begin(),
                        fold_members[static_cast<std::size_t>(g)].end());
     }
     const Dataset train = data.subset(train_idx);
-    if (train.count(Label::kGood) == 0 || train.count(Label::kRmc) == 0) continue;
+    if (train.count(Label::kGood) == 0 || train.count(Label::kRmc) == 0) return;
     ForestParams fold_params = params;
+    fold_params.jobs = 1;  // parallelism lives at the fold level here
     fold_params.seed = params.seed + static_cast<std::uint64_t>(f) * 7919;
     const RandomForest model = RandomForest::train(train, fold_params);
-    result.confusion.merge(evaluate_forest(
-        model, data.subset(fold_members[static_cast<std::size_t>(f)])));
-  }
+    fold_confusion[f] = evaluate_forest(model, data.subset(fold_members[f]));
+  });
+  for (const ConfusionMatrix& cm : fold_confusion) result.confusion.merge(cm);
   result.accuracy = result.confusion.correctness();
   return result;
 }

@@ -12,8 +12,17 @@ struct Engine::BurstState {
   std::uint64_t span = 0;
   mem::Addr base = 0;
   HitProfile profile;
-  /// Fraction of the burst's pages homed on each node.
-  std::vector<double> home_fraction;
+  /// One entry per home node actually holding pages of this burst, with the
+  /// channel index and idle DRAM latency resolved once at activation.  The
+  /// epoch loops (cost, demand, rationing, accounting, sampling) iterate
+  /// this sparse list instead of scanning every node of the machine.
+  struct HomeTerm {
+    double fraction = 0.0;     // of the burst's pages homed here
+    int channel_index = 0;     // accessing node -> home, machine index
+    double idle_latency = 0.0; // idle DRAM latency on that channel
+    int home = 0;
+  };
+  std::vector<HomeTerm> homes;
   bool active = false;
 };
 
@@ -29,6 +38,12 @@ struct Engine::ThreadState {
   Rng rng;
   /// Fixed-point scratch: accesses planned this epoch.
   std::uint64_t planned = 0;
+  /// Channel index of the thread's node-local channel (PEBS buffer flushes).
+  int self_channel = 0;
+  /// Phase constants hoisted out of the epoch loop: retired ops per memory
+  /// access (IBS inflation) and the amortized profiling interrupt cost.
+  double ops_per_access = 1.0;
+  double profiling_cost_per_access = 0.0;
 };
 
 Engine::Engine(const topology::Machine& machine, mem::AddressSpace& space,
@@ -51,8 +66,17 @@ void Engine::activate_burst(ThreadState& ts, const AccessBurst& burst) {
   bs.base = obj.base + burst.offset_bytes;
   bs.remaining = burst.count;
   bs.profile = cache_model_.classify(burst, span);
-  bs.home_fraction = space_.touch_and_home_fractions(
+  const std::vector<double> home_fraction = space_.touch_and_home_fractions(
       burst.object, burst.offset_bytes, span, ts.node);
+  bs.homes.clear();
+  const int n = machine_.num_nodes();
+  for (int home = 0; home < n; ++home) {
+    const double fh = home_fraction[static_cast<std::size_t>(home)];
+    if (fh <= 0.0) continue;
+    bs.homes.push_back(BurstState::HomeTerm{
+        fh, ts.node * n + home,
+        machine_.idle_dram_latency(topology::ChannelId{ts.node, home}), home});
+  }
   bs.active = true;
 }
 
@@ -68,17 +92,11 @@ double Engine::access_cost(const ThreadState& ts, const ChannelLoad& load) const
   if (p.dram > 0.0 || p.lfb > 0.0) {
     avg_mult = 0.0;
     double fsum = 0.0;
-    const int n = machine_.num_nodes();
-    for (int home = 0; home < n; ++home) {
-      const double fh = bs.home_fraction[static_cast<std::size_t>(home)];
-      if (fh <= 0.0) continue;
-      const int idx = ts.node * n + home;
-      const double mult = load.multiplier_index(idx);
-      const double idle =
-          machine_.idle_dram_latency(topology::ChannelId{ts.node, home});
-      dram_obs += fh * idle * mult;
-      avg_mult += fh * mult;
-      fsum += fh;
+    for (const BurstState::HomeTerm& h : bs.homes) {
+      const double mult = load.multiplier_index(h.channel_index);
+      dram_obs += h.fraction * h.idle_latency * mult;
+      avg_mult += h.fraction * mult;
+      fsum += h.fraction;
     }
     if (fsum > 0.0) avg_mult /= fsum;
     else avg_mult = 1.0;
@@ -95,22 +113,19 @@ double Engine::access_cost(const ThreadState& ts, const ChannelLoad& load) const
   const double dram_cost = p.dram * dram_obs * p.prefetch_hide;
   double cost = ts.compute_cpa + cache_cost + (lfb_cost + dram_cost) / p.mlp;
 
-  if (config_.profiling) {
-    // IBS interrupts on every op fire, not only the memory ones, so the
-    // per-access interrupt overhead scales with the op inflation.
-    const double fires_per_access =
-        config_.sampling_flavor == SamplingFlavor::kIbs
-            ? 1.0 + std::max(0.0, ts.compute_cpa)
-            : 1.0;
-    cost += config_.profiling_interrupt_cycles * fires_per_access /
-            static_cast<double>(config_.sample_period);
-  }
+  // IBS interrupts fire on every op, not only the memory ones, so the
+  // per-access interrupt overhead scales with the op inflation; the whole
+  // term is a phase constant precomputed in run() (0 when not profiling).
+  cost += ts.profiling_cost_per_access;
   return cost;
 }
 
 void Engine::emit_samples(ThreadState& ts, std::uint64_t served,
                           std::uint64_t epoch_start, double /*cost*/,
                           const ChannelLoad& load, RunResult& result) {
+  DRBW_CHECK_MSG(served >= 1,
+                 "emit_samples requires served >= 1 (offset mapping divides "
+                 "by served and clamps to served - 1)");
   const BurstState& bs = ts.current;
   const HitProfile& p = bs.profile;
   const auto& spec = machine_.spec();
@@ -121,12 +136,20 @@ void Engine::emit_samples(ThreadState& ts, std::uint64_t served,
   // IBS counts every retired op, not just memory accesses: feed the
   // counter the op stream (≈ 1 + compute-cycles worth of ops per access)
   // and map firing offsets back to the access they landed on.
-  const double ops_per_access =
-      config_.sampling_flavor == SamplingFlavor::kIbs
-          ? 1.0 + std::max(0.0, ts.compute_cpa)
-          : 1.0;
+  const double ops_per_access = ts.ops_per_access;
   const auto counted = static_cast<std::uint64_t>(
       static_cast<double>(served) * ops_per_access);
+
+  // LFB waits ride on the stream's (home-weighted) channel delay, which is
+  // fixed for the epoch — computed once, not per sample.
+  double lfb_mult = 1.0;
+  if (p.lfb > 0.0) {
+    double avg_mult = 0.0;
+    for (const BurstState::HomeTerm& h : bs.homes) {
+      avg_mult += h.fraction * load.multiplier_index(h.channel_index);
+    }
+    lfb_mult = std::max(1.0, avg_mult);
+  }
 
   for (std::uint64_t offset : ts.sampler.consume(counted)) {
     if (ops_per_access > 1.0) {
@@ -178,14 +201,7 @@ void Engine::emit_samples(ThreadState& ts, std::uint64_t served,
     } else if (u < p.l1 + p.l2 + p.l3 + p.lfb) {
       level = pebs::MemLevel::kLfb;
       idle_latency = spec.lfb_latency_cycles;
-      // LFB waits ride on the stream's (home-weighted) channel delay.
-      double avg_mult = 0.0;
-      for (int home = 0; home < machine_.num_nodes(); ++home) {
-        const double fh = bs.home_fraction[static_cast<std::size_t>(home)];
-        if (fh <= 0.0) continue;
-        avg_mult += fh * load.multiplier_index(ts.node * machine_.num_nodes() + home);
-      }
-      mult = std::max(1.0, avg_mult);
+      mult = lfb_mult;
     } else {
       // DRAM: the page home of the sampled address decides local vs remote,
       // exactly as the tool will later rediscover via its libnuma lookup.
@@ -235,13 +251,30 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
     ThreadState& ts = states[i];
     ts.thread = threads[i];
     ts.node = machine_.node_of_cpu(threads[i].cpu);
+    ts.self_channel = ts.node * num_nodes + ts.node;
     ts.sampler = pebs::PeriodSampler(
         config_.sample_period, config_.seed ^ (0x9e37u + threads[i].tid));
     ts.rng = Rng(config_.seed).fork(threads[i].tid);
   }
 
+  if (config_.profiling) {
+    // One sample per sample_period accesses is the expected density; the
+    // latency threshold only thins it.  Reserving up front keeps the commit
+    // loop free of vector growth.
+    std::uint64_t total_accesses = 0;
+    for (const Phase& phase : phases) {
+      for (const ThreadWork& work : phase.work) {
+        for (const AccessBurst& burst : work.bursts) total_accesses += burst.count;
+      }
+    }
+    result.samples.reserve(static_cast<std::size_t>(
+        total_accesses / config_.sample_period + 64));
+  }
+
   ChannelLoad load(machine_, config_.bandwidth);
   const auto epoch_cycles = static_cast<double>(config_.epoch_cycles);
+  const bool profiling_demand =
+      config_.profiling && config_.profiling_bytes_per_sample > 0.0;
   std::uint64_t clock = 0;
   std::uint64_t epochs_used = 0;
   double latency_weight = 0.0;
@@ -258,6 +291,14 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
       ThreadState& ts = states[i];
       ts.queue = &phase.work[i].bursts;
       ts.compute_cpa = phase.work[i].compute_cycles_per_access;
+      ts.ops_per_access = config_.sampling_flavor == SamplingFlavor::kIbs
+                              ? 1.0 + std::max(0.0, ts.compute_cpa)
+                              : 1.0;
+      ts.profiling_cost_per_access =
+          config_.profiling
+              ? config_.profiling_interrupt_cycles * ts.ops_per_access /
+                    static_cast<double>(config_.sample_period)
+              : 0.0;
       ts.next_burst = 0;
       ts.current.active = false;
       ts.phase_done = ts.queue->empty();
@@ -281,23 +322,21 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
           const auto planned = static_cast<std::uint64_t>(epoch_cycles / cost);
           ts.planned = std::min<std::uint64_t>(
               std::max<std::uint64_t>(planned, 1), ts.current.remaining);
-          if (config_.profiling && config_.profiling_bytes_per_sample > 0.0) {
+          if (profiling_demand) {
             // PEBS buffer flushes land in the thread's local DRAM.
             load.add_demand_index(
-                ts.node * num_nodes + ts.node,
+                ts.self_channel,
                 static_cast<double>(ts.planned) /
                     static_cast<double>(config_.sample_period) *
                     config_.profiling_bytes_per_sample);
           }
           const double bpa = ts.current.profile.dram_bytes_per_access;
           if (bpa > 0.0) {
-            for (int home = 0; home < num_nodes; ++home) {
-              const double fh =
-                  ts.current.home_fraction[static_cast<std::size_t>(home)];
-              if (fh <= 0.0) continue;
-              load.add_demand_index(ts.node * num_nodes + home,
-                                    static_cast<double>(ts.planned) * bpa * fh,
-                                    ts.current.profile.mlp * fh);
+            for (const BurstState::HomeTerm& h : ts.current.homes) {
+              load.add_demand_index(h.channel_index,
+                                    static_cast<double>(ts.planned) * bpa *
+                                        h.fraction,
+                                    ts.current.profile.mlp * h.fraction);
             }
           }
         }
@@ -311,10 +350,9 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
         BurstState& bs = ts.current;
         double service = 1.0;
         if (bs.profile.dram_bytes_per_access > 0.0) {
-          for (int home = 0; home < num_nodes; ++home) {
-            if (bs.home_fraction[static_cast<std::size_t>(home)] <= 0.0) continue;
-            service = std::min(
-                service, load.service_fraction_index(ts.node * num_nodes + home));
+          for (const BurstState::HomeTerm& h : bs.homes) {
+            service =
+                std::min(service, load.service_fraction_index(h.channel_index));
           }
         }
         const auto served = std::max<std::uint64_t>(
@@ -336,17 +374,14 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
         double dram_obs = 0.0;
         double remote_f = 0.0;
         if (p.dram > 0.0) {
-          for (int home = 0; home < num_nodes; ++home) {
-            const double fh = bs.home_fraction[static_cast<std::size_t>(home)];
-            if (fh <= 0.0) continue;
-            const int idx = ts.node * num_nodes + home;
+          for (const BurstState::HomeTerm& h : bs.homes) {
             const double bytes =
-                static_cast<double>(n) * p.dram_bytes_per_access * fh;
-            result.channels[static_cast<std::size_t>(idx)].bytes += bytes;
-            dram_obs += fh *
-                        machine_.idle_dram_latency(topology::ChannelId{ts.node, home}) *
-                        load.multiplier_index(idx);
-            if (home != ts.node) remote_f += fh;
+                static_cast<double>(n) * p.dram_bytes_per_access * h.fraction;
+            result.channels[static_cast<std::size_t>(h.channel_index)].bytes +=
+                bytes;
+            dram_obs +=
+                h.fraction * h.idle_latency * load.multiplier_index(h.channel_index);
+            if (h.home != ts.node) remote_f += h.fraction;
           }
           result.dram_accesses += static_cast<double>(n) * p.dram;
           result.remote_dram_accesses += static_cast<double>(n) * p.dram * remote_f;

@@ -1,0 +1,51 @@
+#include "drbw/util/task_pool.hpp"
+
+#include <algorithm>
+
+namespace drbw::util {
+
+unsigned TaskPool::resolve_jobs(int jobs) {
+  if (jobs > 0) return static_cast<unsigned>(jobs);
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+TaskPool::TaskPool(int jobs) {
+  const unsigned total = resolve_jobs(jobs);
+  threads_.reserve(total - 1);
+  for (unsigned i = 0; i + 1 < total; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace drbw::util

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "drbw/util/task_pool.hpp"
+
 namespace drbw::workloads {
 
 namespace {
@@ -97,19 +99,44 @@ EvaluationResult evaluate_suite(
     const std::vector<std::unique_ptr<Benchmark>>& benchmarks,
     const EvaluationOptions& options) {
   const DrBw tool(machine, model);
-  EvaluationResult result;
+
+  // Enumerate every (benchmark, input, config) case with its seed first —
+  // seed assignment stays a function of enumeration order alone — then fan
+  // the independent simulations out and reassemble in order.
+  struct PlannedCase {
+    std::size_t benchmark = 0;
+    std::size_t input = 0;
+    RunConfig config;
+    std::uint64_t seed = 0;
+  };
+  std::vector<PlannedCase> planned;
   std::uint64_t case_seed = options.seed;
-  for (const auto& benchmark : benchmarks) {
-    BenchmarkEvaluation evaluation;
-    evaluation.name = benchmark->name();
-    evaluation.suite = benchmark->suite();
-    for (std::size_t input = 0; input < benchmark->num_inputs(); ++input) {
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    for (std::size_t input = 0; input < benchmarks[b]->num_inputs(); ++input) {
       for (const RunConfig& config : options.configs) {
-        evaluation.cases.push_back(evaluate_case(
-            machine, tool, *benchmark, input, config, options, ++case_seed));
+        planned.push_back(PlannedCase{b, input, config, ++case_seed});
       }
     }
+  }
+
+  std::vector<CaseOutcome> outcomes(planned.size());
+  util::TaskPool pool(options.jobs);
+  pool.parallel_for(planned.size(), [&](std::size_t i) {
+    const PlannedCase& c = planned[i];
+    outcomes[i] = evaluate_case(machine, tool, *benchmarks[c.benchmark],
+                                c.input, c.config, options, c.seed);
+  });
+
+  EvaluationResult result;
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    BenchmarkEvaluation evaluation;
+    evaluation.name = benchmarks[b]->name();
+    evaluation.suite = benchmarks[b]->suite();
     result.benchmarks.push_back(std::move(evaluation));
+  }
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    result.benchmarks[planned[i].benchmark].cases.push_back(
+        std::move(outcomes[i]));
   }
   return result;
 }
@@ -165,7 +192,12 @@ OptimizationStudy study_optimization(const topology::Machine& machine,
     all_modes.insert(all_modes.begin(), PlacementMode::kOriginal);
   }
 
-  for (const PlacementMode mode : all_modes) {
+  // Placement modes are independent runs with disjoint seeds; fan them out
+  // and keep the result vector in mode order.
+  study.runs.resize(all_modes.size());
+  util::TaskPool pool(options.jobs);
+  pool.parallel_for(all_modes.size(), [&](std::size_t m) {
+    const PlacementMode mode = all_modes[m];
     sim::EngineConfig engine = options.engine;
     engine.profiling = false;  // speedups are measured unprofiled
     engine.seed = options.seed ^ static_cast<std::uint64_t>(mode);
@@ -179,8 +211,8 @@ OptimizationStudy study_optimization(const topology::Machine& machine,
     r.dram_accesses = run.dram_accesses;
     r.avg_dram_latency = run.avg_dram_latency;
     r.avg_access_latency = run.avg_access_latency;
-    study.runs.push_back(std::move(r));
-  }
+    study.runs[m] = std::move(r);
+  });
   return study;
 }
 

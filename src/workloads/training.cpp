@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "drbw/core/profiler.hpp"
+#include "drbw/util/task_pool.hpp"
 #include "drbw/workloads/mini.hpp"
 
 namespace drbw::workloads {
@@ -11,6 +12,18 @@ namespace drbw::workloads {
 namespace {
 
 constexpr std::uint64_t kMiB = 1ull << 20;
+
+/// One planned mini-program run: everything run_instance needs, enumerated
+/// up front so the runs themselves can execute in any order.  The seed is
+/// assigned during (serial) enumeration, which is what makes the generated
+/// set independent of the worker count.
+struct PlannedRun {
+  ProxySpec spec;
+  RunConfig config;
+  bool rmc = false;
+  std::uint64_t seed = 0;
+  std::string description;
+};
 
 /// Runs one mini-program spec and turns it into a training instance.
 TrainingInstance run_instance(const topology::Machine& machine,
@@ -47,6 +60,10 @@ TrainingInstance run_instance(const topology::Machine& machine,
       best = &cf;
     }
   }
+  DRBW_CHECK_MSG(best != nullptr,
+                 "run '" << spec.name << ' ' << description
+                         << "' produced no per-channel features — the machine "
+                            "reports no channels to extract from");
   instance.features = best->features;
   if (options.with_candidates) {
     instance.candidates = features::extract_candidates(profile);
@@ -62,10 +79,8 @@ TrainingInstance run_instance(const topology::Machine& machine,
 
 using SpecFactory = ProxySpec (*)(std::uint64_t, bool);
 
-void add_vector_runs(std::vector<TrainingInstance>& out,
-                     const topology::Machine& machine, SpecFactory factory,
-                     bool compute_bound, const TrainingOptions& options,
-                     std::uint64_t& seed) {
+void add_vector_runs(std::vector<PlannedRun>& out, SpecFactory factory,
+                     bool compute_bound, std::uint64_t& seed) {
   // 24 "good" runs in two families:
   //  * 16 parallel-first-touch runs, including T8-N1 at the largest size,
   //    which saturates node 0's *local* memory controller — loud latency,
@@ -79,10 +94,10 @@ void add_vector_runs(std::vector<TrainingInstance>& out,
                                           {4, 2}, {8, 2}, {12, 3}, {16, 4}};
   for (const std::uint64_t size : good_sizes) {
     for (const RunConfig& config : good_local_configs) {
-      out.push_back(run_instance(
-          machine, factory(size, /*master_alloc=*/false), config,
-          /*rmc=*/false, options, ++seed,
-          config.name() + " " + std::to_string(size / kMiB) + "MiB local"));
+      out.push_back(PlannedRun{
+          factory(size, /*master_alloc=*/false), config,
+          /*rmc=*/false, ++seed,
+          config.name() + " " + std::to_string(size / kMiB) + "MiB local"});
     }
   }
   // For the compute-bound program (countv), {12,4} runs three remote
@@ -96,10 +111,10 @@ void add_vector_runs(std::vector<TrainingInstance>& out,
       {2, 2}, {4, 4}, {8, 4}, compute_bound ? RunConfig{12, 4} : RunConfig{6, 3}};
   for (const std::uint64_t size : good_sizes) {
     for (const RunConfig& config : good_master_configs) {
-      out.push_back(run_instance(
-          machine, factory(size, /*master_alloc=*/true), config,
-          /*rmc=*/false, options, ++seed,
-          config.name() + " " + std::to_string(size / kMiB) + "MiB master-light"));
+      out.push_back(PlannedRun{
+          factory(size, /*master_alloc=*/true), config,
+          /*rmc=*/false, ++seed,
+          config.name() + " " + std::to_string(size / kMiB) + "MiB master-light"});
     }
   }
   // 24 "rmc" runs: master-thread allocation homes the vectors on node 0
@@ -116,17 +131,15 @@ void add_vector_runs(std::vector<TrainingInstance>& out,
                                    {24, 4}, {32, 4}, {64, 4}, {24, 3}};
   for (const std::uint64_t size : rmc_sizes) {
     for (const RunConfig& config : rmc_configs) {
-      out.push_back(run_instance(
-          machine, factory(size, /*master_alloc=*/true), config,
-          /*rmc=*/true, options, ++seed,
-          config.name() + " " + std::to_string(size / kMiB) + "MiB master"));
+      out.push_back(PlannedRun{
+          factory(size, /*master_alloc=*/true), config,
+          /*rmc=*/true, ++seed,
+          config.name() + " " + std::to_string(size / kMiB) + "MiB master"});
     }
   }
 }
 
-void add_bandit_runs(std::vector<TrainingInstance>& out,
-                     const topology::Machine& machine,
-                     const TrainingOptions& options, std::uint64_t& seed) {
+void add_bandit_runs(std::vector<PlannedRun>& out, std::uint64_t& seed) {
   // 48 "good" runs (Table II lists no rmc bandit runs): stream counts and
   // co-running instance counts tuned to exercise different bandwidth
   // demand levels while staying clear of saturation; buffers placed on the
@@ -140,12 +153,12 @@ void add_bandit_runs(std::vector<TrainingInstance>& out,
       for (const int instances : instance_counts) {
         for (const topology::NodeId home : homes) {
           const RunConfig config{instances, 1};  // instances co-run on node 0
-          out.push_back(run_instance(
-              machine, bandit_spec(streams, home, size), config,
-              /*rmc=*/false, options, ++seed,
+          out.push_back(PlannedRun{
+              bandit_spec(streams, home, size), config,
+              /*rmc=*/false, ++seed,
               config.name() + " s" + std::to_string(streams) + " " +
                   (home == 0 ? "local" : "remote") + " " +
-                  std::to_string(size / kMiB) + "MiB"));
+                  std::to_string(size / kMiB) + "MiB"});
         }
       }
     }
@@ -156,15 +169,25 @@ void add_bandit_runs(std::vector<TrainingInstance>& out,
 
 TrainingSet generate_training_set(const topology::Machine& machine,
                                   const TrainingOptions& options) {
-  TrainingSet set;
+  // Enumerate all runs serially — the Table II composition and per-run
+  // seeds never depend on the worker count — then execute them on the
+  // pool.  Each run writes only its own slot, so the resulting set is
+  // bitwise identical for any `jobs` value.
+  std::vector<PlannedRun> planned;
   std::uint64_t seed = options.seed;
-  add_vector_runs(set.instances, machine, sumv_spec, /*compute_bound=*/false,
-                  options, seed);
-  add_vector_runs(set.instances, machine, dotv_spec, /*compute_bound=*/false,
-                  options, seed);
-  add_vector_runs(set.instances, machine, countv_spec, /*compute_bound=*/true,
-                  options, seed);
-  add_bandit_runs(set.instances, machine, options, seed);
+  add_vector_runs(planned, sumv_spec, /*compute_bound=*/false, seed);
+  add_vector_runs(planned, dotv_spec, /*compute_bound=*/false, seed);
+  add_vector_runs(planned, countv_spec, /*compute_bound=*/true, seed);
+  add_bandit_runs(planned, seed);
+
+  TrainingSet set;
+  set.instances.resize(planned.size());
+  util::TaskPool pool(options.jobs);
+  pool.parallel_for(planned.size(), [&](std::size_t i) {
+    const PlannedRun& run = planned[i];
+    set.instances[i] = run_instance(machine, run.spec, run.config, run.rmc,
+                                    options, run.seed, run.description);
+  });
   return set;
 }
 
@@ -218,9 +241,10 @@ ml::TreeParams default_tree_params() {
 }
 
 ml::Classifier train_default_classifier(const topology::Machine& machine,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed, int jobs) {
   TrainingOptions options;
   options.seed = seed;
+  options.jobs = jobs;
   const TrainingSet set = generate_training_set(machine, options);
   return ml::Classifier::train(set.dataset(), default_tree_params());
 }

@@ -1,0 +1,195 @@
+// Tests for util::TaskPool and the determinism contract of every run-level
+// fan-out built on it: a pool executes each task exactly once under
+// contention, and the parallel pipelines (training-set generation, forest
+// training, cross-validation) produce output bitwise identical to their
+// serial jobs=1 form.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "drbw/ml/random_forest.hpp"
+#include "drbw/util/rng.hpp"
+#include "drbw/util/task_pool.hpp"
+#include "drbw/workloads/training.hpp"
+
+namespace drbw {
+namespace {
+
+using util::TaskPool;
+
+TEST(TaskPool, RunsEveryIndexExactlyOnceUnderContention) {
+  TaskPool pool(8);
+  EXPECT_EQ(pool.jobs(), 8u);
+  constexpr std::size_t kTasks = 5000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    // A little uneven spinning so workers genuinely interleave and race
+    // for indices.
+    Rng rng(i);
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t k = 0; k < rng.bounded(512); ++k) sink += k;
+    hits[i].fetch_add(1);
+    total.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(TaskPool, SingleJobPoolRunsInlineAndInOrder) {
+  TaskPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskPool, ParallelForEachVisitsEveryElement) {
+  TaskPool pool(4);
+  std::vector<std::atomic<int>> counts(257);
+  std::vector<std::size_t> items(counts.size());
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+  pool.parallel_for_each(items.begin(), items.end(),
+                         [&](std::size_t item) { counts[item].fetch_add(1); });
+  for (std::size_t i = 0; i < counts.size(); ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(TaskPool, SubmitReturnsFutureValues) {
+  TaskPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(TaskPool, ExceptionsPropagateToTheCaller) {
+  TaskPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 13) throw Error("boom");
+                                 }),
+               Error);
+  auto future = pool.submit([]() -> int { throw Error("late boom"); });
+  EXPECT_THROW(future.get(), Error);
+}
+
+TEST(TaskPool, NestedParallelForDoesNotDeadlock) {
+  TaskPool outer(4);
+  std::atomic<int> leaves{0};
+  outer.parallel_for(8, [&](std::size_t) {
+    TaskPool inner(4);
+    inner.parallel_for(8, [&](std::size_t) { leaves.fetch_add(1); });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(TaskPool, ResolveJobsMapsZeroToHardware) {
+  EXPECT_GE(TaskPool::resolve_jobs(0), 1u);
+  EXPECT_EQ(TaskPool::resolve_jobs(1), 1u);
+  EXPECT_EQ(TaskPool::resolve_jobs(7), 7u);
+}
+
+// ---------------------------------------------------------------------- //
+// Determinism of the parallel pipelines: jobs=1 vs jobs=4 must serialize
+// byte-identically.  Doubles are rendered as raw bit patterns so the
+// comparison is bitwise, not print-rounded.
+
+void put_bits(std::ostringstream& os, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  os << bits << ',';
+}
+
+std::string serialize(const workloads::TrainingSet& set) {
+  std::ostringstream os;
+  for (const auto& inst : set.instances) {
+    os << inst.program << '|' << inst.config << '|' << inst.rmc << '|'
+       << inst.features.scope_samples << '|';
+    for (const double v : inst.features.values) put_bits(os, v);
+    put_bits(os, inst.peak_remote_utilization);
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string serialize(const ml::RandomForest& forest) {
+  std::ostringstream os;
+  for (const auto& tree : forest.trees()) os << tree.to_json().dump(-1) << '\n';
+  for (const auto& map : forest.feature_maps()) {
+    for (const std::size_t f : map) os << f << ',';
+    os << '\n';
+  }
+  return os.str();
+}
+
+workloads::TrainingOptions fast_training_options(int jobs) {
+  workloads::TrainingOptions options;
+  options.seed = 2017;
+  options.jobs = jobs;
+  // Bigger epochs -> fewer fixed-point iterations per run; the generated
+  // instances are a pure function of (seed, engine config), which both
+  // sides share, so the comparison is unaffected.
+  options.engine.epoch_cycles = 1'000'000;
+  return options;
+}
+
+TEST(TaskPoolDeterminism, TrainingSetIsIdenticalAcrossJobCounts) {
+  const auto machine = topology::Machine::xeon_e5_4650();
+  const auto serial =
+      workloads::generate_training_set(machine, fast_training_options(1));
+  const auto parallel =
+      workloads::generate_training_set(machine, fast_training_options(4));
+  ASSERT_EQ(serial.instances.size(), parallel.instances.size());
+  EXPECT_EQ(serialize(serial), serialize(parallel));
+}
+
+ml::Dataset separable(std::uint64_t seed, int rows) {
+  Rng rng(seed);
+  ml::Dataset d({"a", "b", "noise"});
+  for (int i = 0; i < rows; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    d.add({a, b, rng.uniform()},
+          a > 0.5 && b > 0.4 ? ml::Label::kRmc : ml::Label::kGood);
+  }
+  return d;
+}
+
+TEST(TaskPoolDeterminism, RandomForestIsIdenticalAcrossJobCounts) {
+  const ml::Dataset d = separable(29, 160);
+  ml::ForestParams params;
+  params.seed = 42;
+  params.num_trees = 24;
+  params.jobs = 1;
+  const auto serial = ml::RandomForest::train(d, params);
+  params.jobs = 4;
+  const auto parallel = ml::RandomForest::train(d, params);
+  EXPECT_EQ(serialize(serial), serialize(parallel));
+}
+
+TEST(TaskPoolDeterminism, CrossValidationIsIdenticalAcrossJobCounts) {
+  const ml::Dataset d = separable(31, 200);
+  ml::ForestParams params;
+  params.seed = 7;
+  params.jobs = 1;
+  const auto serial = ml::stratified_kfold_forest(d, 5, params, 21);
+  params.jobs = 4;
+  const auto parallel = ml::stratified_kfold_forest(d, 5, params, 21);
+  EXPECT_EQ(serial.confusion.total(), parallel.confusion.total());
+  EXPECT_EQ(serial.confusion.true_rmc, parallel.confusion.true_rmc);
+  EXPECT_EQ(serial.confusion.false_rmc, parallel.confusion.false_rmc);
+  EXPECT_EQ(serial.confusion.true_good, parallel.confusion.true_good);
+  EXPECT_EQ(serial.confusion.false_good, parallel.confusion.false_good);
+  EXPECT_EQ(serial.accuracy, parallel.accuracy);
+}
+
+}  // namespace
+}  // namespace drbw

@@ -66,12 +66,17 @@ int cmd_train(int argc, char** argv) {
   parser.add_option("seed", "training seed", "2017");
   parser.add_option("out", "model output path", "drbw_model.json");
   parser.add_option("machine", "xeon | opteron", "xeon");
+  parser.add_option("jobs",
+                    "parallel mini-program runs (0 = one per hardware "
+                    "thread); the trained model is identical at any value",
+                    "0");
   if (!parser.parse(argc, argv)) return 0;
   const auto machine = machine_by_name(parser.option("machine"));
   DRBW_CHECK_MSG(parser.option("machine") == "xeon",
                  "the Table II generator targets the Xeon's Tt-Nn grid");
   const auto model = workloads::train_default_classifier(
-      machine, static_cast<std::uint64_t>(parser.option_int("seed")));
+      machine, static_cast<std::uint64_t>(parser.option_int("seed")),
+      static_cast<int>(parser.option_int("jobs")));
   model.save(parser.option("out"));
   std::cout << "trained on 192 mini-program runs; model written to "
             << parser.option("out") << "\n\n"
