@@ -38,8 +38,8 @@ double seconds_since(Clock::time_point start) {
 /// serialized artifacts without keeping both in memory.
 std::uint64_t fnv1a(const std::string& bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const unsigned char c : bytes) {
-    h ^= c;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
   return h;

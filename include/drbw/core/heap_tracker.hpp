@@ -14,7 +14,6 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "drbw/mem/address_space.hpp"
@@ -58,7 +57,10 @@ class HeapTracker {
   std::uint32_t intern_site(const std::string& site);
 
   std::vector<TrackedObject> objects_;
-  std::unordered_map<std::string, std::uint32_t> by_site_;
+  /// Ordered, not hashed: object indices and every aggregate derived from
+  /// them must not depend on hash-table layout (determinism contract;
+  /// object order itself is insertion order via objects_).
+  std::map<std::string, std::uint32_t> by_site_;
   /// Live ranges: base -> (end, object index).
   std::map<mem::Addr, Range> ranges_;
 };

@@ -72,9 +72,11 @@ std::vector<double> Normalizer::apply(const std::vector<double>& row) const {
 
 Json Normalizer::to_json() const {
   Json j;
-  JsonArray lo, hi;
-  for (const double v : lo_) lo.push_back(Json(v));
-  for (const double v : hi_) hi.push_back(Json(v));
+  // Range-constructing the arrays (implicit double -> Json) sidesteps the
+  // push_back relocation path, where GCC 12's inliner reports spurious
+  // -Wmaybe-uninitialized warnings inside the variant move machinery.
+  JsonArray lo(lo_.begin(), lo_.end());
+  JsonArray hi(hi_.begin(), hi_.end());
   j.set("lo", Json(std::move(lo)));
   j.set("hi", Json(std::move(hi)));
   return j;

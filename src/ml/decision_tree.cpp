@@ -61,7 +61,7 @@ int DecisionTree::build(const Dataset& data,
     std::size_t left_n = 0, left_rmc = 0;
     for (std::size_t k = 0; k + 1 < n; ++k) {
       ++left_n;
-      left_rmc += values[k].second ? 1 : 0;
+      if (values[k].second) ++left_rmc;
       if (values[k].first == values[k + 1].first) continue;  // no boundary
       const std::size_t right_n = n - left_n;
       if (left_n < params.min_samples_leaf || right_n < params.min_samples_leaf) {
@@ -151,7 +151,9 @@ int DecisionTree::depth() const {
 
 std::size_t DecisionTree::leaf_count() const {
   std::size_t leaves = 0;
-  for (const Node& node : nodes_) leaves += node.is_leaf() ? 1 : 0;
+  for (const Node& node : nodes_) {
+    if (node.is_leaf()) ++leaves;
+  }
   return leaves;
 }
 

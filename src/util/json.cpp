@@ -126,10 +126,14 @@ void append_number(std::string& out, double d) {
 
 void Json::dump_to(std::string& out, int indent, int depth) const {
   const std::string pad =
-      indent >= 0 ? std::string(static_cast<std::size_t>(indent) * (depth + 1), ' ')
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent) *
+                                    static_cast<std::size_t>(depth + 1),
+                                ' ')
                   : std::string();
   const std::string close_pad =
-      indent >= 0 ? std::string(static_cast<std::size_t>(indent) * depth, ' ')
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent) *
+                                    static_cast<std::size_t>(depth),
+                                ' ')
                   : std::string();
   const char* nl = indent >= 0 ? "\n" : "";
 

@@ -137,8 +137,8 @@ TEST_F(AdviceTest, EvidenceSortedBySamples) {
   const auto a = space_.allocate("a.c:7 big", 4 << 20, PlacementSpec::bind(0));
   const auto b = space_.allocate("a.c:8 small", 4 << 20, PlacementSpec::bind(0));
   std::vector<pebs::MemorySample> samples;
-  for (int i = 0; i < 10; ++i) {
-    samples.push_back(sample(space_.object(a).base + 64ull * i,
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    samples.push_back(sample(space_.object(a).base + 64 * i,
                              machine_.cpus_of_node(1)[0], 1));
   }
   samples.push_back(sample(space_.object(b).base, machine_.cpus_of_node(1)[0], 1));

@@ -39,8 +39,12 @@ TEST_F(DiagnoserTest, CfSumsToOneAndRanks) {
   const mem::Addr bw = space_.object(warm).base;
 
   std::vector<pebs::MemorySample> samples;
-  for (int i = 0; i < 9; ++i) samples.push_back(sample(bh + 64ull * i, 0));
-  for (int i = 0; i < 3; ++i) samples.push_back(sample(bw + 64ull * i, 0));
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    samples.push_back(sample(bh + 64 * i, 0));
+  }
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    samples.push_back(sample(bw + 64 * i, 0));
+  }
   const auto profile = profiler_.profile(space_.drain_events(), samples);
 
   const auto d = diagnose(profile, {ChannelId{0, 1}});
@@ -61,7 +65,9 @@ TEST_F(DiagnoserTest, CrossChannelAggregationIgnoresCleanChannels) {
   const mem::Addr base = space_.object(obj).base;
   std::vector<pebs::MemorySample> samples;
   // Node-0 threads touch pages on node 1 (even pages) and node 2 (odd).
-  for (int i = 0; i < 8; ++i) samples.push_back(sample(base + 4096ull * i, 0));
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    samples.push_back(sample(base + 4096 * i, 0));
+  }
   const auto profile = profiler_.profile(space_.drain_events(), samples);
 
   // Only channel N0->N1 flagged: denominator restricted to its samples.

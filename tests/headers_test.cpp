@@ -1,0 +1,20 @@
+// Header self-containment suite.
+//
+// The real assertion is the *build*: tests/CMakeLists.txt generates one
+// translation unit per public header under include/drbw/, each including
+// only that header, and compiles them all into this binary.  A header that
+// forgot an include fails right there.  This file just gives ctest something
+// to report once the compile-time proof has succeeded.
+#include <gtest/gtest.h>
+
+namespace drbw {
+namespace {
+
+TEST(HeadersTest, EveryPublicHeaderCompilesStandalone) {
+  // Compilation of the generated header_tus/*.cpp TUs is the proof; reaching
+  // this line means all of them built.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace drbw

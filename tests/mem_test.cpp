@@ -30,7 +30,9 @@ TEST_F(AddressSpaceTest, InterleaveRoundRobinsAcrossAllNodes) {
       space_.allocate("a.c:2 buf", 8 * 4096, PlacementSpec::interleave());
   const DataObject& obj = space_.object(id);
   for (int page = 0; page < 8; ++page) {
-    EXPECT_EQ(space_.resolve_home(obj.base + page * 4096ull, 0), page % 4);
+    EXPECT_EQ(space_.resolve_home(
+                  obj.base + static_cast<std::uint64_t>(page) * 4096, 0),
+              page % 4);
   }
 }
 
@@ -39,7 +41,8 @@ TEST_F(AddressSpaceTest, InterleaveOverSubsetOnlyUsesSubset) {
                                       PlacementSpec::interleave({1, 3}));
   const DataObject& obj = space_.object(id);
   for (int page = 0; page < 6; ++page) {
-    const auto home = space_.resolve_home(obj.base + page * 4096ull, 0);
+    const auto home = space_.resolve_home(
+        obj.base + static_cast<std::uint64_t>(page) * 4096, 0);
     EXPECT_EQ(home, page % 2 == 0 ? 1 : 3);
   }
 }
@@ -51,7 +54,9 @@ TEST_F(AddressSpaceTest, ColocateSplitsProportionally) {
   const DataObject& obj = space_.object(id);
   const int expect[] = {0, 0, 1, 1, 2, 2, 3, 3};
   for (int page = 0; page < 8; ++page) {
-    EXPECT_EQ(space_.resolve_home(obj.base + page * 4096ull, 0), expect[page])
+    EXPECT_EQ(space_.resolve_home(
+                  obj.base + static_cast<std::uint64_t>(page) * 4096, 0),
+              expect[page])
         << "page " << page;
   }
 }
@@ -63,7 +68,8 @@ TEST_F(AddressSpaceTest, ColocateHandlesUnevenSplit) {
   const DataObject& obj = space_.object(id);
   int on_node1 = 0, on_node2 = 0;
   for (int page = 0; page < 5; ++page) {
-    const auto home = space_.resolve_home(obj.base + page * 4096ull, 0);
+    const auto home = space_.resolve_home(
+        obj.base + static_cast<std::uint64_t>(page) * 4096, 0);
     if (home == 1) ++on_node1;
     if (home == 2) ++on_node2;
   }

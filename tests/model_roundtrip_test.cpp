@@ -1,0 +1,59 @@
+// Round-trip schema validation for the committed model artifact.
+//
+// drbw_model.json is the deployable classifier checked into the repo.  Model-
+// format drift — a renamed key, a reordered field, a change in number
+// formatting — must be caught statically, not at inference time in some
+// downstream run.  The pin: loading the committed model and re-serializing it
+// through the current code reproduces the file byte for byte.  (Key order is
+// stable because drbw::Json objects are vectors of pairs, and number
+// formatting is locale-independent %.17g — both deliberate.)
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "drbw/ml/decision_tree.hpp"
+
+namespace drbw::ml {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const std::string kModelPath = std::string(DRBW_SOURCE_ROOT) + "/drbw_model.json";
+
+TEST(ModelRoundTripTest, CommittedModelReserializesByteIdentical) {
+  const std::string committed = read_file(kModelPath);
+  ASSERT_FALSE(committed.empty());
+  const Classifier model = Classifier::load(kModelPath);
+  // Classifier::save writes dump() plus a trailing newline; reproduce it.
+  EXPECT_EQ(model.to_json().dump() + "\n", committed)
+      << "model serialization drifted from the committed artifact — if the "
+         "format change is intentional, retrain/save and recommit "
+         "drbw_model.json";
+}
+
+TEST(ModelRoundTripTest, ParseDumpFixpoint) {
+  // Once normalized by one parse+dump, the text is a fixpoint: a second
+  // round trip changes nothing.  Guards the serializer against asymmetries
+  // the committed-file pin would miss (e.g. if the artifact were stale).
+  const std::string once = Json::parse(read_file(kModelPath)).dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(ModelRoundTripTest, SaveLoadPreservesPredictions) {
+  const Classifier model = Classifier::load(kModelPath);
+  const std::string copy = ::testing::TempDir() + "/model_roundtrip.json";
+  model.save(copy);
+  EXPECT_EQ(read_file(copy), read_file(kModelPath));
+  std::remove(copy.c_str());
+}
+
+}  // namespace
+}  // namespace drbw::ml

@@ -86,6 +86,27 @@ TEST_F(ReportTest, TimelineRendersEveryWindow) {
   EXPECT_EQ(rows, windows.size());
 }
 
+TEST_F(ReportTest, IdenticalProfilesRenderIdenticalMarkdown) {
+  // Determinism regression for the heap-tracker path (by_site_ is ordered,
+  // not hashed): two pipelines built from scratch over the same seeded run
+  // must render byte-identical reports, object table and CF ranking included.
+  const auto render_once = [] {
+    const DrBw tool(machine(), workloads::train_default_classifier(machine()));
+    mem::AddressSpace space(machine());
+    const workloads::ProxyBenchmark bench(
+        workloads::sumv_spec(512ull << 20, /*master_alloc=*/true));
+    sim::EngineConfig engine;
+    engine.seed = 44;
+    const auto built =
+        bench.build(space, machine(), workloads::RunConfig{32, 4},
+                    workloads::PlacementMode::kOriginal, 0);
+    const auto run = workloads::execute(machine(), space, built, engine);
+    core::AddressSpaceLocator locator(space);
+    return to_markdown(tool.analyze(run, locator), machine());
+  };
+  EXPECT_EQ(render_once(), render_once());
+}
+
 TEST_F(ReportTest, WriteFileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/drbw_report.md";
   write_file(path, "# hello\n");

@@ -31,7 +31,7 @@ TEST(TaskPool, RunsEveryIndexExactlyOnceUnderContention) {
     // for indices.
     Rng rng(i);
     volatile std::uint64_t sink = 0;
-    for (std::uint64_t k = 0; k < rng.bounded(512); ++k) sink += k;
+    for (std::uint64_t k = 0; k < rng.bounded(512); ++k) sink = sink + k;
     hits[i].fetch_add(1);
     total.fetch_add(1);
   });

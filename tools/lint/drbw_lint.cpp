@@ -1,0 +1,52 @@
+// drbw_lint — command-line driver for the determinism/concurrency linter.
+//
+//   drbw_lint [--root DIR] [--dirs a,b,c] [--max-findings N]
+//
+// Walks the repo's source directories, applies the rules in lint_rules.hpp,
+// prints findings as "path:line: [rule] message", and exits nonzero when
+// anything fired.  Registered as the `lint_test` ctest, so a violation fails
+// the build's test stage exactly like a failing unit test.
+#include <iostream>
+
+#include "drbw/util/cli.hpp"
+#include "drbw/util/error.hpp"
+#include "drbw/util/strings.hpp"
+#include "lint_rules.hpp"
+
+int main(int argc, char** argv) {
+  using namespace drbw;
+  ArgParser parser("drbw_lint",
+                   "Static checks for DR-BW's determinism and concurrency "
+                   "contract (see DESIGN.md — Static analysis)");
+  parser.add_option("root", "repository root to scan", ".");
+  parser.add_option("dirs", "comma-separated subdirectories",
+                    "src,include,tests,bench,tools,examples");
+  parser.add_option("max-findings", "truncate output after N findings", "100");
+
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+    std::vector<std::string> dirs;
+    for (const std::string& d : split(parser.option("dirs"), ',')) {
+      if (!trim(d).empty()) dirs.push_back(trim(d));
+    }
+    const auto result = lint::run(parser.option("root"), dirs);
+
+    const auto limit =
+        static_cast<std::size_t>(parser.option_int("max-findings"));
+    std::size_t shown = 0;
+    for (const auto& finding : result.findings) {
+      if (shown++ == limit) {
+        std::cout << "... and " << result.findings.size() - limit
+                  << " more finding(s)\n";
+        break;
+      }
+      std::cout << lint::format_finding(finding) << "\n";
+    }
+    std::cout << "drbw_lint: " << result.files_scanned << " files, "
+              << result.findings.size() << " finding(s)\n";
+    return result.findings.empty() ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "drbw_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
