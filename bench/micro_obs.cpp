@@ -1,0 +1,209 @@
+// Microbenchmark for the drbw::obs instrumentation layer.
+//
+// Measures what the observability ISSUE budgets and persists it to
+// BENCH_obs.json:
+//   1. Per-call cost of the always-on instruments (counter add, histogram
+//      observe) and of spans/instants with the trace sink enabled vs
+//      disabled — the disabled span is the cost every pipeline stage pays
+//      when no --trace-out is requested.
+//   2. The micro_executor contended engine run with obs compiled in and
+//      sinks disabled: its throughput is compared against
+//      BENCH_executor.json's to enforce the <= 3% overhead budget, and the
+//      same run with tracing enabled shows what --trace-out costs.
+//
+// Runs to completion with no arguments, like every other bench binary.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "drbw/obs/metrics.hpp"
+#include "drbw/obs/trace.hpp"
+#include "drbw/sim/engine.hpp"
+#include "drbw/util/json.hpp"
+
+namespace {
+
+using namespace drbw;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Same contended shape as micro_executor's engine-throughput section: 16
+/// threads across 4 nodes streaming a node-0-bound gigabyte.
+sim::RunResult contended_run(const topology::Machine& machine,
+                             std::uint64_t seed,
+                             std::uint64_t accesses_per_thread) {
+  mem::AddressSpace space(machine);
+  const auto obj = space.allocate("micro.c:1 data", 1ull << 30,
+                                  mem::PlacementSpec::bind(0));
+  std::vector<sim::SimThread> threads;
+  sim::Phase phase{"main", {}};
+  std::uint32_t tid = 0;
+  for (int n = 0; n < 4; ++n) {
+    for (int t = 0; t < 4; ++t) {
+      threads.push_back(
+          {tid++, machine.cpus_of_node(n)[static_cast<std::size_t>(t)]});
+      phase.work.push_back(
+          sim::ThreadWork{{sim::seq_read(obj, accesses_per_thread)}, 1.0});
+    }
+  }
+  sim::EngineConfig cfg;
+  cfg.epoch_cycles = 100'000;
+  cfg.seed = seed;
+  sim::Engine engine(machine, space, cfg);
+  return engine.run(threads, {phase});
+}
+
+/// Best-of-`reps` engine throughput in accesses/second.
+double best_engine_rate(const topology::Machine& machine, int reps,
+                        std::uint64_t per_thread) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    const auto run =
+        contended_run(machine, 7 + static_cast<std::uint64_t>(r), per_thread);
+    best = std::max(
+        best, static_cast<double>(run.total_accesses) / seconds_since(start));
+  }
+  return best;
+}
+
+double ns_per_op(double seconds, std::uint64_t ops) {
+  return seconds / static_cast<double>(ops) * 1e9;
+}
+
+}  // namespace
+
+int run_main(int argc, char** argv) {
+  ArgParser parser("micro_obs", "Time the obs metrics/trace instrumentation");
+  parser.add_option("reps", "repetitions per measurement", "3");
+  parser.add_option("ops", "instrument calls per timing loop", "20000000");
+  parser.add_option("engine-accesses",
+                    "per-thread accesses in the engine overhead run", "400000");
+  parser.add_option("out", "JSON artifact path", "BENCH_obs.json");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const int reps = std::max(1, static_cast<int>(parser.option_int("reps")));
+  const auto ops = static_cast<std::uint64_t>(parser.option_int("ops"));
+  const auto machine = topology::Machine::xeon_e5_4650();
+
+  bench::heading("micro_obs — observability instrumentation cost");
+  std::cout << "obs compiled " << (obs::kEnabled ? "IN" : "OUT (DRBW_OBS=OFF)")
+            << ", reps: " << reps << ", ops/loop: " << ops << "\n\n";
+
+  Json result = JsonObject{};
+  result.set("machine", machine.spec().name);
+  result.set("obs_enabled", obs::kEnabled);
+  result.set("reps", static_cast<std::size_t>(reps));
+  result.set("ops", ops);
+
+  // 1. Instrument call cost. --------------------------------------------- //
+  {
+    obs::Counter counter;
+    obs::Histogram histogram({100, 200, 300, 500, 800, 1300, 2100});
+    double counter_s = 1e300;
+    double histogram_s = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      auto start = Clock::now();
+      for (std::uint64_t i = 0; i < ops; ++i) counter.add(1);
+      counter_s = std::min(counter_s, seconds_since(start));
+      start = Clock::now();
+      for (std::uint64_t i = 0; i < ops; ++i) histogram.observe(i & 4095);
+      histogram_s = std::min(histogram_s, seconds_since(start));
+    }
+
+    // Span/instant cost: the disabled path is the default pipeline cost (no
+    // --trace-out); the enabled path is what tracing itself costs.  Enabled
+    // loops are shorter — every call appends an event.
+    const std::uint64_t span_ops = std::max<std::uint64_t>(1, ops / 100);
+    obs::Trace& trace = obs::Trace::instance();
+    trace.disable();
+    double span_off_s = 1e300;
+    double span_on_s = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      auto start = Clock::now();
+      for (std::uint64_t i = 0; i < span_ops; ++i) {
+        obs::Span span("bench");
+      }
+      span_off_s = std::min(span_off_s, seconds_since(start));
+
+      trace.enable(obs::TimingMode::kSim);
+      trace.clear();
+      start = Clock::now();
+      for (std::uint64_t i = 0; i < span_ops; ++i) {
+        obs::Span span("bench");
+      }
+      span_on_s = std::min(span_on_s, seconds_since(start));
+      trace.disable();
+      trace.clear();
+    }
+
+    std::cout << "counter add:        "
+              << format_fixed(ns_per_op(counter_s, ops), 2) << " ns/op\n"
+              << "histogram observe:  "
+              << format_fixed(ns_per_op(histogram_s, ops), 2) << " ns/op\n"
+              << "span (sink off):    "
+              << format_fixed(ns_per_op(span_off_s, span_ops), 2) << " ns/op\n"
+              << "span (sink on):     "
+              << format_fixed(ns_per_op(span_on_s, span_ops), 2) << " ns/op\n";
+    Json cost = JsonObject{};
+    cost.set("counter_add_ns", ns_per_op(counter_s, ops));
+    cost.set("histogram_observe_ns", ns_per_op(histogram_s, ops));
+    cost.set("span_disabled_ns", ns_per_op(span_off_s, span_ops));
+    cost.set("span_enabled_ns", ns_per_op(span_on_s, span_ops));
+    result.set("instrument_cost", std::move(cost));
+  }
+
+  // 2. Engine run with sinks disabled vs tracing enabled. ---------------- //
+  {
+    const auto per_thread =
+        static_cast<std::uint64_t>(parser.option_int("engine-accesses"));
+    obs::Trace& trace = obs::Trace::instance();
+    trace.disable();
+    trace.clear();
+    const double rate_off = best_engine_rate(machine, reps, per_thread);
+
+    trace.enable(obs::TimingMode::kSim);
+    trace.clear();
+    const double rate_on = best_engine_rate(machine, reps, per_thread);
+    const std::size_t traced_events = trace.event_count();
+    trace.disable();
+    trace.clear();
+
+    const double tracing_overhead_pct = (rate_off / rate_on - 1.0) * 100.0;
+    std::cout << "\nengine (16-thread contended run, sinks disabled): "
+              << format_fixed(rate_off / 1e6, 2) << " M accesses/s\n"
+              << "engine (tracing enabled, " << traced_events << " events): "
+              << format_fixed(rate_on / 1e6, 2) << " M accesses/s ("
+              << format_fixed(tracing_overhead_pct, 1) << "% overhead)\n"
+              << "compare best_accesses_per_second against "
+                 "BENCH_executor.json for the <=3% compiled-in budget\n";
+    Json engine = JsonObject{};
+    engine.set("best_accesses_per_second", rate_off);
+    engine.set("best_accesses_per_second_traced", rate_on);
+    engine.set("tracing_overhead_pct", tracing_overhead_pct);
+    engine.set("traced_events", traced_events);
+    result.set("engine_throughput", std::move(engine));
+  }
+
+  const std::string path = parser.option("out");
+  std::ofstream out(path);
+  DRBW_CHECK_MSG(out.good(), "cannot open " << path);
+  out << result.dump(2) << '\n';
+  std::cout << "\nwrote " << path << '\n';
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "micro_obs: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "drbw/drbw.hpp"
+#include "drbw/obs/metrics.hpp"
 
 namespace drbw::report {
 
@@ -27,6 +28,12 @@ std::string to_markdown(const Report& result, const topology::Machine& machine,
 /// Renders a windowed timeline section (append to the main document).
 std::string timeline_markdown(const std::vector<WindowVerdict>& windows,
                               const topology::Machine& machine);
+
+/// Renders a "Run telemetry" section from an obs metrics registry (golden
+/// instruments only by default, so the section is deterministic).  Returns
+/// an empty string when the registry has nothing to report.
+std::string telemetry_markdown(const obs::Registry& registry,
+                               bool include_diagnostic = false);
 
 /// Convenience: write a document to a file (throws drbw::Error on failure).
 void write_file(const std::string& path, const std::string& markdown);

@@ -42,4 +42,28 @@ class BarChart {
   std::vector<std::string> series_names_;
 };
 
+/// Multi-series intensity timeline: one row per series, one column per time
+/// bucket, magnitude rendered by a density glyph ramp.  Used by `drbw stats`
+/// to show per-epoch channel utilization from a trace file.
+class TimelineChart {
+ public:
+  /// `width` is the number of time columns every series is resampled to.
+  explicit TimelineChart(int width = 64);
+
+  /// `points` are (time, value) samples; values are expected in [0, 1]
+  /// (larger values saturate the ramp).  Each column shows the maximum of
+  /// the samples falling into its time slice, so short spikes stay visible.
+  void add_series(std::string label, std::vector<std::pair<double, double>> points);
+
+  std::string render() const;
+
+ private:
+  int width_;
+  struct Series {
+    std::string label;
+    std::vector<std::pair<double, double>> points;
+  };
+  std::vector<Series> series_;
+};
+
 }  // namespace drbw

@@ -11,7 +11,17 @@
 #include <string>
 #include <vector>
 
+#include "drbw/util/error.hpp"
+
 namespace drbw {
+
+/// Thrown for malformed *user input* on the command line (unknown option,
+/// missing value, non-numeric argument) as opposed to programmer errors.
+/// Drivers catch it separately to exit with a distinct usage status.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
 
 /// Declarative option registry + parser for `--name value` / `--flag` style
 /// arguments.  Unknown options are an error; `--help` prints usage and

@@ -29,9 +29,23 @@
 #include <type_traits>
 #include <vector>
 
+#include "drbw/obs/trace.hpp"
 #include "drbw/util/error.hpp"
 
 namespace drbw::util {
+
+namespace detail {
+
+/// Tasks executed across all pools.  parallel_for adds `n` up front, so the
+/// total is a pure function of the workload — jobs-independent, hence golden.
+inline obs::Counter& pool_tasks_run_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "drbw_pool_tasks_run_total",
+      "Tasks executed by util::TaskPool (parallel_for indices + submits)");
+  return counter;
+}
+
+}  // namespace detail
 
 class TaskPool {
  public:
@@ -60,8 +74,16 @@ class TaskPool {
   template <typename Fn>
   void parallel_for(std::size_t n, Fn&& fn) {
     if (n == 0) return;
+    // One fork key per fan-out, derived from the *calling* scope before any
+    // dispatch: the serial and parallel paths below install byte-identical
+    // child trace tracks, so --jobs never leaks into trace output.
+    const std::uint64_t fork = obs::fork_key();
+    detail::pool_tasks_run_counter().add(n);
     if (threads_.empty() || n == 1) {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      for (std::size_t i = 0; i < n; ++i) {
+        obs::TraceTrack track(fork, i);
+        fn(i);
+      }
       return;
     }
 
@@ -76,11 +98,12 @@ class TaskPool {
     // Helpers reference `fn`, which outlives them: parallel_for does not
     // return before `done == n`, and a helper that wakes later only claims
     // an out-of-range index and exits without touching fn.
-    auto drain = [shared, n, &fn] {
+    auto drain = [shared, n, &fn, fork] {
       for (;;) {
         const std::size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         try {
+          obs::TraceTrack track(fork, i);
           fn(i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(shared->mutex);
@@ -117,10 +140,16 @@ class TaskPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
+    const std::uint64_t fork = obs::fork_key();
+    detail::pool_tasks_run_counter().add(1);
     if (threads_.empty()) {
+      obs::TraceTrack track(fork, 0);
       (*task)();
     } else {
-      enqueue([task] { (*task)(); });
+      enqueue([task, fork] {
+        obs::TraceTrack track(fork, 0);
+        (*task)();
+      });
     }
     return future;
   }

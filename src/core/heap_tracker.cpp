@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "drbw/obs/metrics.hpp"
+
 namespace drbw::core {
+
+namespace {
+
+struct HeapMetrics {
+  obs::Counter& allocs;
+  obs::Counter& frees;
+  obs::Counter& alloc_bytes;
+  obs::Gauge& peak_live_bytes;
+
+  static HeapMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static HeapMetrics m{
+        reg.counter("drbw_core_heap_allocs_total",
+                    "Allocation events replayed by HeapTracker"),
+        reg.counter("drbw_core_heap_frees_total",
+                    "Free events replayed by HeapTracker"),
+        reg.counter("drbw_core_heap_alloc_bytes_total",
+                    "Bytes allocated across replayed events"),
+        reg.gauge("drbw_core_heap_live_bytes_peak",
+                  "Largest per-object live footprint seen by any tracker"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::uint32_t HeapTracker::intern_site(const std::string& site) {
   const auto it = by_site_.find(site);
@@ -20,6 +48,10 @@ void HeapTracker::on_event(const mem::AllocationEvent& event) {
     tracked.live_bytes += event.size_bytes;
     tracked.peak_bytes = std::max(tracked.peak_bytes, tracked.live_bytes);
     ++tracked.allocations;
+    HeapMetrics& metrics = HeapMetrics::get();
+    metrics.allocs.add(1);
+    metrics.alloc_bytes.add(event.size_bytes);
+    metrics.peak_live_bytes.set_max(static_cast<double>(tracked.peak_bytes));
     ranges_[event.base] = Range{event.base + event.size_bytes, obj};
     return;
   }
@@ -32,6 +64,7 @@ void HeapTracker::on_event(const mem::AllocationEvent& event) {
   DRBW_CHECK(tracked.live_bytes >= bytes);
   tracked.live_bytes -= bytes;
   ++tracked.frees;
+  HeapMetrics::get().frees.add(1);
   ranges_.erase(it);
 }
 

@@ -1,6 +1,30 @@
 #include "drbw/core/profiler.hpp"
 
+#include "drbw/obs/trace.hpp"
+
 namespace drbw::core {
+
+namespace {
+
+struct ProfilerMetrics {
+  obs::Counter& calls;
+  obs::Counter& attributed;
+  obs::Counter& unattributed;
+
+  static ProfilerMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static ProfilerMetrics m{
+        reg.counter("drbw_core_profile_calls_total", "Profiler::profile calls"),
+        reg.counter("drbw_core_samples_attributed_total",
+                    "Samples mapped to a tracked data object"),
+        reg.counter("drbw_core_samples_unattributed_total",
+                    "Samples whose address matched no tracked object"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Profiler::Profiler(const topology::Machine& machine, PageLocator& locator)
     : machine_(machine), locator_(locator) {}
@@ -12,6 +36,8 @@ ProfileResult Profiler::profile(const sim::RunResult& run) const {
 ProfileResult Profiler::profile(
     const std::vector<mem::AllocationEvent>& events,
     const std::vector<pebs::MemorySample>& samples) const {
+  obs::Span span("profile");
+  span.arg("samples", static_cast<double>(samples.size()));
   ProfileResult result;
   result.channels.resize(static_cast<std::size_t>(machine_.num_channels()));
   for (int i = 0; i < machine_.num_channels(); ++i) {
@@ -33,6 +59,10 @@ ProfileResult Profiler::profile(
     result.channels[static_cast<std::size_t>(index)].samples.push_back(
         attributed);
   }
+  ProfilerMetrics& metrics = ProfilerMetrics::get();
+  metrics.calls.add(1);
+  metrics.attributed.add(result.attributed_samples);
+  metrics.unattributed.add(result.total_samples - result.attributed_samples);
   return result;
 }
 

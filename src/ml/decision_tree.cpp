@@ -6,9 +6,29 @@
 #include <set>
 #include <sstream>
 
+#include "drbw/obs/trace.hpp"
+
 namespace drbw::ml {
 
 namespace {
+
+struct MlMetrics {
+  obs::Counter& trees;
+  obs::Counter& split_nodes;
+  obs::Counter& leaf_nodes;
+
+  static MlMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static MlMetrics m{
+        reg.counter("drbw_ml_trees_trained_total", "DecisionTree::train calls"),
+        reg.counter("drbw_ml_split_nodes_total",
+                    "Internal split nodes created during tree building"),
+        reg.counter("drbw_ml_leaf_nodes_total",
+                    "Leaf nodes created during tree building"),
+    };
+    return m;
+  }
+};
 
 double gini(std::size_t rmc, std::size_t total) {
   if (total == 0) return 0.0;
@@ -27,6 +47,7 @@ int DecisionTree::add_leaf(const Dataset& data,
   }
   leaf.label = 2 * leaf.rmc_count > leaf.count ? Label::kRmc : Label::kGood;
   nodes_.push_back(leaf);
+  MlMetrics::get().leaf_nodes.add(1);
   return static_cast<int>(nodes_.size() - 1);
 }
 
@@ -93,6 +114,7 @@ int DecisionTree::build(const Dataset& data,
   }
 
   // Reserve our slot before recursing so child indices are stable.
+  MlMetrics::get().split_nodes.add(1);
   const int self = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   nodes_[static_cast<std::size_t>(self)].feature = best_feature;
@@ -110,10 +132,14 @@ DecisionTree DecisionTree::train(const Dataset& normalized, TreeParams params) {
   DRBW_CHECK_MSG(normalized.size() > 0, "cannot train on empty dataset");
   DRBW_CHECK_MSG(params.max_depth >= 1, "max_depth must be >= 1");
   DRBW_CHECK_MSG(params.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+  obs::Span span("tree_train");
+  span.arg("rows", static_cast<double>(normalized.size()));
   DecisionTree tree;
   std::vector<std::size_t> all(normalized.size());
   std::iota(all.begin(), all.end(), 0);
   tree.build(normalized, all, params, 0);
+  MlMetrics::get().trees.add(1);
+  span.arg("nodes", static_cast<double>(tree.nodes().size()));
   return tree;
 }
 

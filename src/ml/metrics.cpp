@@ -4,11 +4,22 @@
 #include <sstream>
 #include <vector>
 
+#include "drbw/obs/trace.hpp"
 #include "drbw/util/rng.hpp"
 #include "drbw/util/strings.hpp"
 #include "drbw/util/table.hpp"
 
 namespace drbw::ml {
+
+namespace {
+
+obs::Counter& cv_folds_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "drbw_ml_cv_folds_total", "Cross-validation folds trained and scored");
+  return counter;
+}
+
+}  // namespace
 
 void ConfusionMatrix::record(Label actual, Label predicted) {
   if (actual == Label::kRmc) {
@@ -99,6 +110,9 @@ CrossValidationResult stratified_kfold(const Dataset& data, int folds,
     }
   }
 
+  obs::Span span("cross_validate");
+  span.arg("folds", static_cast<double>(folds));
+  span.arg("rows", static_cast<double>(data.size()));
   CrossValidationResult result;
   result.folds = folds;
   for (int f = 0; f < folds; ++f) {
@@ -116,6 +130,7 @@ CrossValidationResult stratified_kfold(const Dataset& data, int folds,
     }
     const Classifier model = Classifier::train(train, params);
     result.confusion.merge(evaluate(model, test));
+    cv_folds_counter().add(1);
   }
   result.accuracy = result.confusion.correctness();
   return result;

@@ -1,0 +1,61 @@
+// Shared helpers for the obs serializers: deterministic scalar formatting and
+// JSON/Prometheus string escaping.  Internal to src/obs — not installed.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace drbw::obs::internal {
+
+/// Fixed, locale-independent double rendering ("%.9g"): identical input bits
+/// always produce identical bytes, which the golden-export contract requires.
+inline std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::string(buf);
+}
+
+/// Minimal JSON string escaping (quote, backslash, control characters).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Prometheus HELP-text escaping: backslash and newline only (exposition
+/// format §"Comments, help text, and type information").
+inline std::string prometheus_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace drbw::obs::internal

@@ -1,8 +1,20 @@
 #include "drbw/pebs/sample.hpp"
 
+#include "drbw/obs/metrics.hpp"
 #include "drbw/util/rng.hpp"
 
 namespace drbw::pebs {
+
+namespace {
+
+obs::Counter& sampler_draws_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "drbw_pebs_draws_total",
+      "Counter-overflow fires drawn by PeriodSampler (pre-threshold)");
+  return counter;
+}
+
+}  // namespace
 
 const char* level_name(MemLevel level) {
   switch (level) {
@@ -32,6 +44,7 @@ std::vector<std::uint64_t> PeriodSampler::consume(std::uint64_t accesses) {
       at += period_;
     }
     countdown_ = period_ - (accesses - 1 - offsets.back());
+    sampler_draws_counter().add(offsets.size());
   } else {
     countdown_ -= accesses;
   }
@@ -46,6 +59,7 @@ std::uint64_t PeriodSampler::count_only(std::uint64_t accesses) {
   const std::uint64_t after_first = accesses - countdown_;
   const std::uint64_t n = 1 + after_first / period_;
   countdown_ = period_ - after_first % period_;
+  sampler_draws_counter().add(n);
   return n;
 }
 

@@ -96,6 +96,23 @@ std::string timeline_markdown(const std::vector<WindowVerdict>& windows,
   return md.str();
 }
 
+std::string telemetry_markdown(const obs::Registry& registry,
+                               bool include_diagnostic) {
+  const std::vector<obs::Registry::Row> rows = registry.rows(include_diagnostic);
+  if (rows.empty()) return "";
+  std::ostringstream md;
+  md << "\n## Run telemetry\n\n"
+     << "Pipeline instrumentation (drbw::obs). Counters and histograms are\n"
+     << "deterministic for identical workload + seed at any `--jobs` value.\n\n"
+     << "| metric | kind | value | description |\n"
+     << "|---|---|---:|---|\n";
+  for (const obs::Registry::Row& row : rows) {
+    md << "| `" << row.name << "` | " << row.kind << " | " << row.value
+       << " | " << row.help << " |\n";
+  }
+  return md.str();
+}
+
 void write_file(const std::string& path, const std::string& markdown) {
   std::ofstream out(path);
   DRBW_CHECK_MSG(out.good(), "cannot open report path '" << path << "'");

@@ -1,9 +1,54 @@
 #include "drbw/sim/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
+#include "drbw/obs/trace.hpp"
+
 namespace drbw::sim {
+
+namespace {
+
+/// Engine-side instruments, resolved once.  Every value is a commutative sum
+/// or integer histogram over per-run quantities, so totals are identical at
+/// any --jobs count.
+struct SimMetrics {
+  obs::Counter& runs;
+  obs::Counter& epochs;
+  obs::Counter& fixed_point_rounds;
+  obs::Counter& accesses;
+  obs::Counter& demand_bytes;
+  obs::Counter& samples;
+  obs::Counter& samples_below_threshold;
+  obs::Histogram& utilization_pct;
+  obs::Histogram& sample_latency;
+
+  static SimMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static SimMetrics m{
+        reg.counter("drbw_sim_runs_total", "Engine runs completed"),
+        reg.counter("drbw_sim_epochs_total", "Epochs simulated"),
+        reg.counter("drbw_sim_fixed_point_rounds_total",
+                    "Rate/multiplier fixed-point iterations"),
+        reg.counter("drbw_sim_accesses_total", "Memory accesses committed"),
+        reg.counter("drbw_sim_demand_bytes_total",
+                    "DRAM channel demand offered (bytes, truncated per epoch)"),
+        reg.counter("drbw_sim_samples_total", "PEBS/IBS samples emitted"),
+        reg.counter("drbw_sim_samples_below_threshold_total",
+                    "PEBS draws dropped by the latency threshold"),
+        reg.histogram("drbw_sim_epoch_channel_utilization_pct",
+                      "Per-epoch utilization of each demanded channel (%)",
+                      {10, 25, 50, 75, 90, 95, 99, 100}),
+        reg.histogram("drbw_sim_sample_latency_cycles",
+                      "Latency of emitted memory samples (cycles)",
+                      {100, 200, 300, 500, 800, 1300, 2100}),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 /// Resolved state of a thread's active burst.
 struct Engine::BurstState {
@@ -219,8 +264,12 @@ void Engine::emit_samples(ThreadState& ts, std::uint64_t served,
     // lands on regardless of latency.
     if (config_.sampling_flavor == SamplingFlavor::kPebs &&
         latency < config_.sample_latency_threshold) {
+      SimMetrics::get().samples_below_threshold.add(1);
       continue;
     }
+    SimMetrics::get().samples.add(1);
+    SimMetrics::get().sample_latency.observe(
+        static_cast<std::uint64_t>(std::llround(latency)));
 
     pebs::MemorySample sample;
     sample.address = addr;
@@ -272,9 +321,29 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
   }
 
   ChannelLoad load(machine_, config_.bandwidth);
+  SimMetrics& metrics = SimMetrics::get();
+  // Hoisted: one relaxed load per run, not per epoch.  Channel arg keys for
+  // the per-epoch counter event are built once, only when tracing.
+  const bool tracing = obs::Trace::instance().enabled();
+  std::vector<std::string> channel_keys;
+  if (tracing) {
+    channel_keys.reserve(static_cast<std::size_t>(machine_.num_channels()));
+    for (int idx = 0; idx < machine_.num_channels(); ++idx) {
+      const topology::ChannelId ch = machine_.channel_at(idx);
+      channel_keys.push_back("N" + std::to_string(ch.src) + "->N" +
+                             std::to_string(ch.dst));
+    }
+  }
   const auto epoch_cycles = static_cast<double>(config_.epoch_cycles);
   const bool profiling_demand =
       config_.profiling && config_.profiling_bytes_per_sample > 0.0;
+  // Per-epoch instruments accumulate into plain locals and flush to the
+  // registry once per run: epochs are ~1us of work each, so even relaxed
+  // atomics in this loop are measurable.  The flushed totals are identical
+  // to per-epoch updates (sums and bucket counts are commutative).
+  std::uint64_t local_epochs = 0;
+  std::uint64_t local_demand_bytes = 0;
+  std::array<std::uint64_t, 101> local_util_pct{};  // llround(u*100) in [0,100]
   std::uint64_t clock = 0;
   std::uint64_t epochs_used = 0;
   double latency_weight = 0.0;
@@ -407,6 +476,9 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
       }
 
       // Channel utilization bookkeeping from *served* traffic.
+      ++local_epochs;
+      std::vector<std::pair<std::string, double>> epoch_args;
+      double max_mult = 1.0;
       for (int idx = 0; idx < machine_.num_channels(); ++idx) {
         const double cap =
             machine_.channel_capacity(machine_.channel_at(idx)) * epoch_cycles;
@@ -414,6 +486,19 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
         const double u = std::min(offered, cap) / cap;
         auto& ch = result.channels[static_cast<std::size_t>(idx)];
         ch.peak_utilization = std::max(ch.peak_utilization, u);
+        if (offered > 0.0) {
+          local_demand_bytes += static_cast<std::uint64_t>(offered);
+          ++local_util_pct[static_cast<std::size_t>(std::llround(u * 100.0))];
+          max_mult = std::max(max_mult, load.multiplier_index(idx));
+          if (tracing) {
+            epoch_args.emplace_back(channel_keys[static_cast<std::size_t>(idx)],
+                                    u);
+          }
+        }
+      }
+      if (tracing && !epoch_args.empty()) {
+        epoch_args.emplace_back("max_latency_multiplier", max_mult);
+        obs::Trace::instance().counter("epoch", clock, std::move(epoch_args));
       }
 
       // Advance the clock; the phase's final epoch only costs the fraction
@@ -427,8 +512,21 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
     }
 
     result.phases.push_back(PhaseResult{phase.name, clock - phase_start});
+    if (tracing) {
+      obs::Trace::instance().complete("phase", phase_start, clock - phase_start,
+                                      {}, {{"name", phase.name}});
+    }
   }
 
+  metrics.runs.add(1);
+  metrics.accesses.add(result.total_accesses);
+  metrics.epochs.add(local_epochs);
+  metrics.fixed_point_rounds.add(
+      local_epochs * static_cast<std::uint64_t>(config_.fixed_point_rounds));
+  metrics.demand_bytes.add(local_demand_bytes);
+  for (std::size_t pct = 0; pct < local_util_pct.size(); ++pct) {
+    metrics.utilization_pct.observe_n(pct, local_util_pct[pct]);
+  }
   result.total_cycles = clock;
   if (result.dram_accesses > 0.0) {
     result.avg_dram_latency /= result.dram_accesses;

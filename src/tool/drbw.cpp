@@ -2,10 +2,22 @@
 
 #include <sstream>
 
+#include "drbw/obs/trace.hpp"
 #include "drbw/util/strings.hpp"
 #include "drbw/util/table.hpp"
 
 namespace drbw {
+
+namespace {
+
+obs::Counter& channels_classified_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "drbw_pipeline_channels_classified_total",
+      "Channel verdicts produced by DrBw::analyze_profile (incl. sparse)");
+  return counter;
+}
+
+}  // namespace
 
 DrBw::DrBw(const topology::Machine& machine, ml::Classifier model,
            AnalysisConfig config)
@@ -24,26 +36,38 @@ Report DrBw::analyze(const sim::RunResult& run,
 
 Report DrBw::analyze_profile(core::ProfileResult profile) const {
   Report report;
-  for (features::ChannelFeatures& cf :
-       features::extract_channels(profile, machine_)) {
-    ChannelVerdict verdict;
-    verdict.channel = cf.channel;
-    verdict.features = cf.features;
-    if (cf.features.scope_samples < config_.min_source_samples ||
-        cf.features.values[5] <
-            static_cast<double>(config_.min_remote_samples)) {
-      verdict.sparse = true;
-      verdict.verdict = ml::Label::kGood;
-    } else {
-      verdict.verdict = model_.predict(cf.features.as_row());
+  std::vector<features::ChannelFeatures> channel_features;
+  {
+    obs::Span span("featurize");
+    span.arg("samples", static_cast<double>(profile.total_samples));
+    channel_features = features::extract_channels(profile, machine_);
+  }
+  {
+    obs::Span span("classify");
+    span.arg("channels", static_cast<double>(channel_features.size()));
+    for (features::ChannelFeatures& cf : channel_features) {
+      ChannelVerdict verdict;
+      verdict.channel = cf.channel;
+      verdict.features = cf.features;
+      if (cf.features.scope_samples < config_.min_source_samples ||
+          cf.features.values[5] <
+              static_cast<double>(config_.min_remote_samples)) {
+        verdict.sparse = true;
+        verdict.verdict = ml::Label::kGood;
+      } else {
+        verdict.verdict = model_.predict(cf.features.as_row());
+      }
+      if (verdict.verdict == ml::Label::kRmc) {
+        report.contended.push_back(cf.channel);
+      }
+      report.channels.push_back(std::move(verdict));
     }
-    if (verdict.verdict == ml::Label::kRmc) {
-      report.contended.push_back(cf.channel);
-    }
-    report.channels.push_back(std::move(verdict));
+    channels_classified_counter().add(report.channels.size());
   }
   report.rmc = !report.contended.empty();
   if (report.rmc) {
+    obs::Span span("diagnose");
+    span.arg("contended_channels", static_cast<double>(report.contended.size()));
     report.diagnosis = diagnoser::diagnose(profile, report.contended);
     report.advice = diagnoser::advise(profile, report.contended);
   }

@@ -69,4 +69,65 @@ std::string BarChart::render_titled(const std::string& title) const {
   return "\n" + title + "\n" + render();
 }
 
+TimelineChart::TimelineChart(int width) : width_(width) {
+  DRBW_CHECK(width_ > 0);
+}
+
+void TimelineChart::add_series(std::string label,
+                               std::vector<std::pair<double, double>> points) {
+  series_.push_back(Series{std::move(label), std::move(points)});
+}
+
+std::string TimelineChart::render() const {
+  if (series_.empty()) return "(empty timeline)\n";
+  // Shared time axis across all series so rows line up column for column.
+  double t_min = 0.0, t_max = 0.0;
+  bool any = false;
+  std::size_t label_width = 0;
+  for (const Series& s : series_) {
+    label_width = std::max(label_width, s.label.size());
+    for (const auto& [t, v] : s.points) {
+      if (!any) {
+        t_min = t_max = t;
+        any = true;
+      } else {
+        t_min = std::min(t_min, t);
+        t_max = std::max(t_max, t);
+      }
+    }
+  }
+  if (!any) return "(empty timeline)\n";
+  const double span = t_max > t_min ? t_max - t_min : 1.0;
+
+  // Ten-step density ramp; a column keeps the max of its slice so one-epoch
+  // saturation spikes are not averaged away.
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kSteps = 9;  // indices 0..9 into kRamp
+
+  std::ostringstream os;
+  for (const Series& s : series_) {
+    std::vector<double> cols(static_cast<std::size_t>(width_), -1.0);
+    for (const auto& [t, v] : s.points) {
+      auto c = static_cast<std::size_t>((t - t_min) / span *
+                                        static_cast<double>(width_ - 1));
+      cols[c] = std::max(cols[c], v);
+    }
+    os << "  " << s.label << std::string(label_width - s.label.size(), ' ')
+       << " |";
+    for (const double v : cols) {
+      if (v < 0.0) {
+        os << ' ';  // no sample in this slice
+      } else {
+        const double clamped = std::clamp(v, 0.0, 1.0);
+        os << kRamp[static_cast<std::size_t>(clamped * kSteps + 0.5)];
+      }
+    }
+    os << "|\n";
+  }
+  os << "  " << std::string(label_width, ' ') << " "
+     << format_fixed(t_min, 0) << " .. " << format_fixed(t_max, 0)
+     << "  (ramp: '" << kRamp << "' = 0..1)\n";
+  return os.str();
+}
+
 }  // namespace drbw

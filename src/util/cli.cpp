@@ -42,7 +42,7 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       return false;
     }
     if (!starts_with(arg, "--")) {
-      throw Error("unexpected positional argument '" + arg + "'");
+      throw UsageError("unexpected positional argument '" + arg + "'");
     }
     std::string name = arg.substr(2);
     std::string inline_value;
@@ -53,14 +53,14 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       has_inline = true;
     }
     const Spec* spec = find_spec(name);
-    if (spec == nullptr) throw Error("unknown option --" + name);
+    if (spec == nullptr) throw UsageError("unknown option --" + name);
     if (spec->is_flag) {
-      if (has_inline) throw Error("flag --" + name + " takes no value");
+      if (has_inline) throw UsageError("flag --" + name + " takes no value");
       flags_[name] = true;
     } else if (has_inline) {
       values_[name] = inline_value;
     } else {
-      if (i + 1 >= argc) throw Error("option --" + name + " expects a value");
+      if (i + 1 >= argc) throw UsageError("option --" + name + " expects a value");
       values_[name] = argv[++i];
     }
   }
@@ -84,7 +84,7 @@ std::int64_t ArgParser::option_int(const std::string& name) const {
   char* end = nullptr;
   const long long v = std::strtoll(raw.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') {
-    throw Error("option --" + name + " expects an integer, got '" + raw + "'");
+    throw UsageError("option --" + name + " expects an integer, got '" + raw + "'");
   }
   return v;
 }
@@ -94,7 +94,7 @@ double ArgParser::option_double(const std::string& name) const {
   char* end = nullptr;
   const double v = std::strtod(raw.c_str(), &end);
   if (end == nullptr || *end != '\0') {
-    throw Error("option --" + name + " expects a number, got '" + raw + "'");
+    throw UsageError("option --" + name + " expects a number, got '" + raw + "'");
   }
   return v;
 }

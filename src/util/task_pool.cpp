@@ -9,12 +9,34 @@ unsigned TaskPool::resolve_jobs(int jobs) {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+namespace {
+
+// Scheduling-shaped numbers: worker/enqueue totals vary with --jobs by
+// design, so they are diagnostic-only and stay out of the golden export.
+obs::Gauge& pool_workers_gauge() {
+  static obs::Gauge& gauge = obs::Registry::global().gauge(
+      "drbw_pool_workers", "Largest worker-thread count of any TaskPool",
+      obs::Visibility::kDiagnostic);
+  return gauge;
+}
+
+obs::Counter& pool_tasks_enqueued_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "drbw_pool_tasks_enqueued_total",
+      "Closures handed to worker threads (excludes inline execution)",
+      obs::Visibility::kDiagnostic);
+  return counter;
+}
+
+}  // namespace
+
 TaskPool::TaskPool(int jobs) {
   const unsigned total = resolve_jobs(jobs);
   threads_.reserve(total - 1);
   for (unsigned i = 0; i + 1 < total; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+  pool_workers_gauge().set_max(static_cast<double>(threads_.size()));
 }
 
 TaskPool::~TaskPool() {
@@ -27,6 +49,7 @@ TaskPool::~TaskPool() {
 }
 
 void TaskPool::enqueue(std::function<void()> task) {
+  pool_tasks_enqueued_counter().add(1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

@@ -3,6 +3,10 @@
 // (profile -> per-channel features -> classify -> diagnose).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+
 #include "drbw/drbw.hpp"
 
 namespace drbw {
@@ -263,6 +267,34 @@ TEST_F(DrBwToolTest, RejectsModelWithWrongArity) {
   d.add({1.0, 1.0}, ml::Label::kRmc);
   EXPECT_THROW(DrBw(machine_, ml::Classifier::train(d)), Error);
 }
+
+#ifdef DRBW_CLI_PATH
+/// Runs the installed drbw binary and returns its exit status (-1 if it died
+/// on a signal).  Output is discarded — these tests pin the exit-code
+/// contract, not the text.
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string(DRBW_CLI_PATH) + " " + args + " >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(DrBwCliExitCodeTest, UnknownSubcommandExits65) {
+  EXPECT_EQ(run_cli("frobnicate"), 65);
+}
+
+TEST(DrBwCliExitCodeTest, MalformedArgumentsExit64) {
+  EXPECT_EQ(run_cli(""), 64);                          // no subcommand
+  EXPECT_EQ(run_cli("analyze --trace"), 64);           // option missing value
+  EXPECT_EQ(run_cli("analyze --no-such-flag x"), 64);  // unknown option
+  EXPECT_EQ(run_cli("record --timing sideways"), 64);  // bad --timing value
+}
+
+TEST(DrBwCliExitCodeTest, RuntimeFailuresExit1) {
+  EXPECT_EQ(run_cli("analyze --trace /nonexistent/trace.csv"), 1);
+  EXPECT_EQ(run_cli("stats --trace /nonexistent/obs.json"), 1);
+}
+#endif
 
 }  // namespace
 }  // namespace drbw

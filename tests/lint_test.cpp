@@ -40,6 +40,10 @@ TEST(LintClassifyTest, LayersAndEmittersFollowPaths) {
   EXPECT_TRUE(classify("tools/drbw_cli.cpp").is_emitter);
   EXPECT_FALSE(classify("src/sim/engine.cpp").is_emitter);
   EXPECT_FALSE(classify("tools/lint/lint_rules.cpp").is_emitter);
+  EXPECT_TRUE(classify("src/obs/wall_clock.cpp").is_obs_wall_home);
+  EXPECT_FALSE(classify("include/drbw/obs/trace.hpp").is_obs_wall_home);
+  EXPECT_TRUE(classify("bench/micro_obs.cpp").is_bench);
+  EXPECT_FALSE(classify("src/obs/trace.cpp").is_bench);
 }
 
 TEST(LintPreprocessTest, BlanksCommentsAndLiteralsKeepsLines) {
@@ -120,6 +124,52 @@ TEST(LintWallclockTest, CatchesTimeCallsNotLookalikes) {
   EXPECT_FALSE(has_rule(check("bench/micro_executor.cpp",
                               "auto t0 = Clock::now();\n"),
                         "no-wallclock"));
+}
+
+TEST(LintObsWallclockTest, ChronoClocksConfinedToObsShim) {
+  // Anywhere outside src/obs/ the clock types are findings...
+  EXPECT_TRUE(has_rule(
+      check("src/sim/engine.cpp",
+            "auto t = std::chrono::steady_clock::now();\n"),
+      "obs-wallclock"));
+  EXPECT_TRUE(has_rule(
+      check("src/core/profiler.cpp",
+            "using C = std::chrono::system_clock;\n"),
+      "obs-wallclock"));
+  EXPECT_TRUE(has_rule(
+      check("tools/drbw_cli.cpp",
+            "std::chrono::high_resolution_clock::now();\n"),
+      "obs-wallclock"));
+  // ...and an allow comment cannot launder them there.
+  EXPECT_TRUE(has_rule(
+      check("src/sim/engine.cpp",
+            "// drbw-lint: allow(obs-wallclock) trust me\n"
+            "auto t = std::chrono::steady_clock::now();\n"),
+      "obs-wallclock"));
+}
+
+TEST(LintObsWallclockTest, ObsShimNeedsJustifiedAllow) {
+  // Bare use inside src/obs/ still fires...
+  EXPECT_TRUE(has_rule(
+      check("src/obs/wall_clock.cpp",
+            "using WallClock = std::chrono::steady_clock;\n"),
+      "obs-wallclock"));
+  // ...but a justified allow suppresses it (the designed escape hatch).
+  EXPECT_FALSE(has_rule(
+      check("src/obs/wall_clock.cpp",
+            "// drbw-lint: allow(obs-wallclock) sole wall-time source\n"
+            "using WallClock = std::chrono::steady_clock;\n"),
+      "obs-wallclock"));
+}
+
+TEST(LintObsWallclockTest, BenchesAndProseAreExempt) {
+  EXPECT_FALSE(has_rule(
+      check("bench/micro_executor.cpp",
+            "using Clock = std::chrono::steady_clock;\n"),
+      "obs-wallclock"));
+  EXPECT_FALSE(has_rule(
+      check("src/sim/engine.cpp", "// steady_clock would break goldens\n"),
+      "obs-wallclock"));
 }
 
 TEST(LintBuildStampTest, CatchesDateTimeMacros) {

@@ -107,6 +107,23 @@ TEST_F(ReportTest, IdenticalProfilesRenderIdenticalMarkdown) {
   EXPECT_EQ(render_once(), render_once());
 }
 
+TEST_F(ReportTest, TelemetrySectionRendersGoldenRowsOnly) {
+  obs::Registry registry;
+  EXPECT_EQ(telemetry_markdown(registry), "");  // nothing registered yet
+  registry.counter("drbw_report_demo_total", "demo counter").add(3);
+  registry.counter("drbw_report_diag_total", "jobs-dependent",
+                   obs::Visibility::kDiagnostic);
+  const std::string md = telemetry_markdown(registry);
+  EXPECT_NE(md.find("## Run telemetry"), std::string::npos);
+  if (obs::kEnabled) {
+    EXPECT_NE(md.find("| `drbw_report_demo_total` | counter | 3 |"),
+              std::string::npos);
+  }
+  EXPECT_EQ(md.find("drbw_report_diag_total"), std::string::npos);
+  EXPECT_NE(telemetry_markdown(registry, true).find("drbw_report_diag_total"),
+            std::string::npos);
+}
+
 TEST_F(ReportTest, WriteFileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/drbw_report.md";
   write_file(path, "# hello\n");

@@ -21,12 +21,31 @@
 //
 //   drbw topology [--machine xeon|opteron]
 //       Print the machine description and channel table.
+//
+//   drbw stats    --trace obs_trace.json [--width N] [--top N]
+//       Render the per-epoch channel-utilization ASCII timeline from a trace
+//       produced with --trace-out.
+//
+// train/record/analyze additionally accept --trace-out FILE (Chrome
+// trace_event JSON), --metrics-out FILE (.json => JSON, else Prometheus
+// text), and --timing sim|wall (wall-clock span durations; marks the trace
+// non-golden).
+//
+// Exit codes: 0 success, 1 runtime error, 2 analyze found contention,
+// 64 malformed arguments, 65 unknown subcommand.
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 
 #include "drbw/drbw.hpp"
+#include "drbw/obs/trace.hpp"
 #include "drbw/pebs/trace_io.hpp"
 #include "drbw/report/markdown.hpp"
+#include "drbw/util/ascii_chart.hpp"
 #include "drbw/util/cli.hpp"
+#include "drbw/util/json.hpp"
 #include "drbw/util/strings.hpp"
 #include "drbw/util/table.hpp"
 #include "drbw/workloads/evaluation.hpp"
@@ -36,6 +55,60 @@
 using namespace drbw;
 
 namespace {
+
+constexpr int kExitUsage = 64;           // malformed arguments (EX_USAGE)
+constexpr int kExitUnknownCommand = 65;  // unrecognized subcommand
+
+/// Shared --trace-out/--metrics-out/--timing plumbing for the subcommands
+/// that run the pipeline.  `begin` arms the trace sink before any work;
+/// `finish` writes the requested artifacts after it.
+struct ObsSinks {
+  static void add_options(ArgParser& parser) {
+    parser.add_option("trace-out",
+                      "write a Chrome trace_event JSON trace here", "");
+    parser.add_option("metrics-out",
+                      "write the metrics registry here (.json => JSON, "
+                      "otherwise Prometheus text format)",
+                      "");
+    parser.add_option("timing",
+                      "sim | wall: span-duration clock for --trace-out "
+                      "(wall marks the trace non-golden)",
+                      "sim");
+  }
+
+  static void begin(const ArgParser& parser) {
+    const std::string& timing = parser.option("timing");
+    obs::TimingMode mode;
+    if (timing == "sim") {
+      mode = obs::TimingMode::kSim;
+    } else if (timing == "wall") {
+      mode = obs::TimingMode::kWall;
+    } else {
+      throw UsageError("--timing expects sim or wall, got '" + timing + "'");
+    }
+    if (!parser.option("trace-out").empty()) {
+      obs::Trace::instance().enable(mode);
+    }
+  }
+
+  static void finish(const ArgParser& parser) {
+    const std::string& trace_out = parser.option("trace-out");
+    if (!trace_out.empty()) {
+      obs::Trace::instance().write_json(trace_out);
+      std::cout << "trace (" << obs::Trace::instance().event_count()
+                << " events) written to " << trace_out << '\n';
+    }
+    const std::string& metrics_out = parser.option("metrics-out");
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out, std::ios::binary);
+      if (!out) throw Error("cannot open metrics output file: " + metrics_out);
+      out << (metrics_out.ends_with(".json")
+                  ? obs::Registry::global().json_text()
+                  : obs::Registry::global().prometheus_text());
+      std::cout << "metrics written to " << metrics_out << '\n';
+    }
+  }
+};
 
 topology::Machine machine_by_name(const std::string& name) {
   const std::string lower = to_lower(name);
@@ -70,7 +143,9 @@ int cmd_train(int argc, char** argv) {
                     "parallel mini-program runs (0 = one per hardware "
                     "thread); the trained model is identical at any value",
                     "0");
+  ObsSinks::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
+  ObsSinks::begin(parser);
   const auto machine = machine_by_name(parser.option("machine"));
   DRBW_CHECK_MSG(parser.option("machine") == "xeon",
                  "the Table II generator targets the Xeon's Tt-Nn grid");
@@ -81,6 +156,7 @@ int cmd_train(int argc, char** argv) {
   std::cout << "trained on 192 mini-program runs; model written to "
             << parser.option("out") << "\n\n"
             << model.describe();
+  ObsSinks::finish(parser);
   return 0;
 }
 
@@ -92,7 +168,9 @@ int cmd_record(int argc, char** argv) {
   parser.add_option("placement", "placement mode", "original");
   parser.add_option("out", "trace output path", "drbw_trace.csv");
   parser.add_option("seed", "run seed", "7");
+  ObsSinks::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
+  ObsSinks::begin(parser);
 
   const auto machine = topology::Machine::xeon_e5_4650();
   const auto bench = workloads::make_suite_benchmark(parser.option("benchmark"));
@@ -110,6 +188,7 @@ int cmd_record(int argc, char** argv) {
             << format_count(run.total_accesses) << " accesses ("
             << format_fixed(run.seconds(machine) * 1e3, 2)
             << " ms simulated) -> " << parser.option("out") << '\n';
+  ObsSinks::finish(parser);
   return 0;
 }
 
@@ -146,7 +225,9 @@ int cmd_analyze(int argc, char** argv) {
   parser.add_option("model", "trained model (empty = train now)", "");
   parser.add_option("windows", "split the run into N time windows", "1");
   parser.add_option("report", "also write a Markdown report here", "");
+  ObsSinks::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
+  ObsSinks::begin(parser);
 
   const auto machine = topology::Machine::xeon_e5_4650();
   const auto trace = pebs::load_trace(parser.option("trace"));
@@ -171,9 +252,11 @@ int cmd_analyze(int argc, char** argv) {
       report::ReportMeta meta;
       meta.workload = parser.option("trace");
       report::write_file(parser.option("report"),
-                         report::to_markdown(report, machine, meta));
+                         report::to_markdown(report, machine, meta) +
+                             report::telemetry_markdown(obs::Registry::global()));
       std::cout << "report written to " << parser.option("report") << '\n';
     }
+    ObsSinks::finish(parser);
     return report.rmc ? 2 : 0;  // exit code signals the verdict
   }
 
@@ -195,7 +278,86 @@ int cmd_analyze(int argc, char** argv) {
     std::cout << '\n';
     any |= v.rmc;
   }
+  ObsSinks::finish(parser);
   return any ? 2 : 0;
+}
+
+const Json* find_member(const JsonObject& object, const std::string& key) {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+int cmd_stats(int argc, char** argv) {
+  ArgParser parser("drbw stats",
+                   "Render the per-epoch channel-utilization timeline from a "
+                   "trace file written with --trace-out");
+  parser.add_option("trace", "trace_event JSON from --trace-out",
+                    "obs_trace.json");
+  parser.add_option("width", "timeline width in columns", "64");
+  parser.add_option("top", "show only the N busiest channels (0 = all)", "0");
+  if (!parser.parse(argc, argv)) return 0;
+
+  std::ifstream in(parser.option("trace"), std::ios::binary);
+  if (!in) throw Error("cannot open trace file: " + parser.option("trace"));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Json root = Json::parse(buffer.str());
+
+  // Per-channel (epoch-start-cycle, utilization) series from the engine's
+  // per-epoch "epoch" counter events.  Any other event kinds are skipped, so
+  // stats works on traces from any subcommand.
+  std::map<std::string, std::vector<std::pair<double, double>>> series;
+  std::size_t epochs = 0;
+  const Json* events = find_member(root.as_object(), "traceEvents");
+  if (events == nullptr) throw Error("not a trace_event file: no traceEvents");
+  for (const Json& event : events->as_array()) {
+    const JsonObject& fields = event.as_object();
+    const Json* name = find_member(fields, "name");
+    const Json* phase = find_member(fields, "ph");
+    const Json* args = find_member(fields, "args");
+    if (name == nullptr || phase == nullptr || args == nullptr) continue;
+    if (name->as_string() != "epoch" || phase->as_string() != "C") continue;
+    const double ts = find_member(fields, "ts")->as_number();
+    ++epochs;
+    for (const auto& [channel, value] : args->as_object()) {
+      if (channel == "max_latency_multiplier") continue;
+      series[channel].emplace_back(ts, value.as_number());
+    }
+  }
+  if (series.empty()) {
+    std::cout << "no per-epoch channel events in " << parser.option("trace")
+              << " (record the trace with --trace-out on train/record/"
+                 "analyze)\n";
+    return 0;
+  }
+
+  // Busiest channels first so the interesting rows are at the top.
+  std::vector<std::pair<std::string, double>> order;
+  for (const auto& [channel, points] : series) {
+    double peak = 0.0;
+    for (const auto& [ts, value] : points) peak = std::max(peak, value);
+    order.emplace_back(channel, peak);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  const auto top = static_cast<std::size_t>(parser.option_int("top"));
+  if (top > 0 && order.size() > top) order.resize(top);
+
+  TimelineChart chart(static_cast<int>(parser.option_int("width")));
+  for (const auto& [channel, peak] : order) {
+    chart.add_series(channel, series.at(channel));
+  }
+  std::cout << "channel utilization per epoch (" << epochs << " epochs, "
+            << order.size() << " of " << series.size() << " channels)";
+  if (const Json* other = find_member(root.as_object(), "otherData")) {
+    if (const Json* clock = find_member(other->as_object(), "clock")) {
+      std::cout << ", clock: " << clock->as_string();
+    }
+  }
+  std::cout << "\n\n" << chart.render();
+  return 0;
 }
 
 int cmd_inspect(int argc, char** argv) {
@@ -242,11 +404,11 @@ int cmd_topology(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: drbw <train|record|analyze|inspect|topology> [options]\n"
+      "usage: drbw <train|record|analyze|inspect|topology|stats> [options]\n"
       "       drbw <subcommand> --help for details\n";
   if (argc < 2) {
     std::cout << usage;
-    return 1;
+    return kExitUsage;
   }
   const std::string sub = argv[1];
   try {
@@ -255,8 +417,12 @@ int main(int argc, char** argv) {
     if (sub == "analyze") return cmd_analyze(argc - 1, argv + 1);
     if (sub == "inspect") return cmd_inspect(argc - 1, argv + 1);
     if (sub == "topology") return cmd_topology(argc - 1, argv + 1);
+    if (sub == "stats") return cmd_stats(argc - 1, argv + 1);
     std::cerr << "unknown subcommand '" << sub << "'\n" << usage;
-    return 1;
+    return kExitUnknownCommand;
+  } catch (const UsageError& e) {
+    std::cerr << "drbw: " << e.what() << '\n';
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::cerr << "drbw: " << e.what() << '\n';
     return 1;

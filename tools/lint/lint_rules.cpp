@@ -42,6 +42,8 @@ FileInfo classify(std::string_view path) {
   info.is_public_header = info.is_header && contains(p, "include/drbw/");
   info.in_mem_layer = contains(p, "/mem/") || starts_with(p, "mem/");
   info.is_rng_home = ends_with(p, "util/rng.hpp");
+  info.is_obs_wall_home = contains(p, "src/obs/");
+  info.is_bench = contains(p, "bench/") || starts_with(p, "bench");
   for (const auto mark : kEmitterMarks) {
     if (contains(p, mark)) {
       info.is_emitter = true;
@@ -224,6 +226,8 @@ constexpr std::array<std::string_view, 7> kWallclockFns = {
 };
 constexpr std::array<std::string_view, 3> kBuildStamps = {
     "__DATE__", "__TIME__", "__TIMESTAMP__"};
+constexpr std::array<std::string_view, 3> kChronoClocks = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
 constexpr std::array<std::string_view, 4> kUnorderedContainers = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset"};
@@ -289,6 +293,25 @@ class Checker {
                    "(...)' reads the wall clock; seeds and any value that "
                    "reaches an artifact must be explicit (chrono timing of "
                    "benchmarks is fine — this symbol family is not)");
+      }
+      // Wall-clock types are confined to the obs wall-timing shim: outside
+      // src/obs/ the finding is unconditional (no allow-comment laundering);
+      // inside, the shim must still carry a justified allow.  Benches time
+      // themselves by design and are exempt.
+      if (any_of(t.text, kChronoClocks) && !info_.is_bench) {
+        if (info_.is_obs_wall_home) {
+          report(t.line, "obs-wallclock",
+                 "std::chrono::" + std::string(t.text) +
+                     " in the obs wall-timing shim needs a justified allow "
+                     "comment (wall time is opt-in via --timing=wall only)");
+        } else {
+          findings_.push_back(Finding{
+              info_.path, t.line, "obs-wallclock",
+              "std::chrono::" + std::string(t.text) +
+                  " outside src/obs/: wall-clock reads go through "
+                  "obs::wall_now_micros() so golden artifacts stay "
+                  "clock-free (no allow escape for this rule)"});
+        }
       }
       if (any_of(t.text, kBuildStamps)) {
         report(t.line, "no-build-stamp",
