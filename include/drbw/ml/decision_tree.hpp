@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "drbw/ml/dataset.hpp"
+#include "drbw/util/artifact.hpp"
 #include "drbw/util/json.hpp"
 
 namespace drbw::ml {
@@ -93,8 +94,22 @@ class Classifier {
 
   Json to_json() const;
   static Classifier from_json(const Json& json);
+
+  /// Persists the model as a versioned, checksummed artifact through the
+  /// atomic writer (threads the "model.write" fault site), so a crashed
+  /// save never leaves a partial model at `path`.
   void save(const std::string& path) const;
+
+  /// Loads a model artifact.  Errors are typed and name the path:
+  /// missing file → kNotFound (with a "did you mean" sibling hint),
+  /// unparseable JSON → kParse (line:column diagnostics), checksum damage
+  /// → kCorruptArtifact (strict) or tolerated with stats->checksum_ok =
+  /// false (lenient), newer format → kVersionSkew.  Legacy raw-JSON model
+  /// files (no artifact header) are still accepted.
   static Classifier load(const std::string& path);
+  static Classifier load(const std::string& path,
+                         const util::LoadPolicy& policy,
+                         util::LoadStats* stats = nullptr);
 
  private:
   Normalizer normalizer_;

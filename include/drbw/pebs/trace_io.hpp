@@ -7,10 +7,23 @@
 // different machine description) without re-simulating.  The format is
 // line-oriented and versioned:
 //
-//   #drbw-trace v1
+//   #drbw-trace v2 crc32=<hex> bytes=<n>
 //   A,<site>,<base>,<size>          allocation event
 //   F,<base>                        free event
 //   S,<addr>,<cpu>,<tid>,<level>,<latency>,<w>,<cycle>   sample
+//
+// v2 adds the checksummed artifact header (see util/artifact.hpp); v1
+// traces ("#drbw-trace v1", no checksum) are still accepted on load.
+// File writes go through the atomic artifact writer, so a crashed or
+// fault-injected save never leaves a partial trace at the target path.
+//
+// Loads run under a util::LoadPolicy: strict (the default) rejects the
+// first malformed record with a typed Error naming the source, line, and
+// offending token; lenient quarantines malformed records, reports counts
+// through util::LoadStats and the drbw_trace_* obs counters, and escalates
+// to Error(kCorruptArtifact) when the quarantined fraction exceeds the
+// policy cap.  The loader threads the "trace.read" fault-injection site
+// (keyed by line number, so corruption is deterministic at any --jobs).
 #pragma once
 
 #include <iosfwd>
@@ -19,8 +32,12 @@
 
 #include "drbw/mem/address_space.hpp"
 #include "drbw/pebs/sample.hpp"
+#include "drbw/util/artifact.hpp"
 
 namespace drbw::pebs {
+
+/// Current trace artifact version (written by save_trace).
+inline constexpr int kTraceVersion = 2;
 
 struct Trace {
   std::vector<mem::AllocationEvent> events;
@@ -28,12 +45,21 @@ struct Trace {
 };
 
 /// Writes a trace; events come first so replay order matches collection.
+/// The stream form emits the legacy v1 header (no checksum — a stream has
+/// no stable byte count to pin); save_trace writes the v2 checksummed
+/// artifact atomically and threads the "trace.write" fault site.
 void write_trace(std::ostream& os, const Trace& trace);
 void save_trace(const std::string& path, const Trace& trace);
 
 /// Parses a trace; throws drbw::Error on malformed or wrong-version input.
+/// The policy overloads implement strict/lenient loading as described in
+/// the header comment; `stats` (optional) receives record accounting.
 Trace read_trace(std::istream& is);
+Trace read_trace(std::istream& is, const util::LoadPolicy& policy,
+                 util::LoadStats* stats);
 Trace load_trace(const std::string& path);
+Trace load_trace(const std::string& path, const util::LoadPolicy& policy,
+                 util::LoadStats* stats = nullptr);
 
 /// Level <-> trace-token conversion (exposed for tests).
 const char* level_token(MemLevel level);

@@ -12,6 +12,7 @@
 
 #include "drbw/drbw.hpp"
 #include "drbw/obs/metrics.hpp"
+#include "drbw/util/artifact.hpp"
 
 namespace drbw::report {
 
@@ -35,7 +36,16 @@ std::string timeline_markdown(const std::vector<WindowVerdict>& windows,
 std::string telemetry_markdown(const obs::Registry& registry,
                                bool include_diagnostic = false);
 
+/// Renders a "Robustness" section from an artifact load's accounting:
+/// records seen / parsed / quarantined and the checksum outcome.  `source`
+/// names the loaded artifact, `load_mode` is "strict" or "lenient".
+std::string robustness_markdown(const util::LoadStats& stats,
+                                const std::string& source,
+                                const std::string& load_mode);
+
 /// Convenience: write a document to a file (throws drbw::Error on failure).
+/// Routed through util::atomic_write_file, so a crash mid-write never
+/// leaves a partial report visible at `path`.
 void write_file(const std::string& path, const std::string& markdown);
 
 }  // namespace drbw::report

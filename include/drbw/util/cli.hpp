@@ -20,7 +20,8 @@ namespace drbw {
 /// Drivers catch it separately to exit with a distinct usage status.
 class UsageError : public Error {
  public:
-  explicit UsageError(const std::string& what) : Error(what) {}
+  explicit UsageError(const std::string& what)
+      : Error(what, ErrorCode::kUsage) {}
 };
 
 /// Declarative option registry + parser for `--name value` / `--flag` style

@@ -2,10 +2,14 @@
 //
 // The library reports programmer and configuration errors through
 // drbw::Error (derived from std::runtime_error) so that callers can catch a
-// single exception type at the API boundary.  The DRBW_CHECK family is used
-// for precondition checks that must stay enabled in release builds; they are
-// cheap (a predicted branch) and guard the analytic models against
-// out-of-domain inputs that would silently produce garbage.
+// single exception type at the API boundary.  Each Error additionally
+// carries an ErrorCode classifying the failure — parse error, corrupt
+// artifact, version skew, injected fault, … — which the CLI maps onto
+// sysexits-style exit codes so scripts can branch on *what* failed without
+// scraping message text.  The DRBW_CHECK family is used for precondition
+// checks that must stay enabled in release builds; they are cheap (a
+// predicted branch) and guard the analytic models against out-of-domain
+// inputs that would silently produce garbage.
 #pragma once
 
 #include <sstream>
@@ -14,10 +18,67 @@
 
 namespace drbw {
 
+/// Failure taxonomy.  kGeneric covers programmer errors and precondition
+/// violations (DRBW_CHECK); the remaining codes classify *environmental*
+/// failures a robust pipeline must distinguish: malformed input text,
+/// checksum/structure damage, artifacts from a different format version,
+/// missing files, OS-level I/O failures, and deliberately injected faults.
+enum class ErrorCode {
+  kGeneric = 0,
+  kUsage,            ///< malformed command-line input
+  kParse,            ///< unparseable artifact text (trace line, JSON, spec)
+  kCorruptArtifact,  ///< checksum mismatch / damaged structure / bad-record
+                     ///< fraction above the lenient-load cap
+  kVersionSkew,      ///< artifact written by an unknown format version
+  kNotFound,         ///< input file does not exist
+  kIo,               ///< OS-level read/write failure
+  kFaultInjected,    ///< a drbw::fault injection site fired a hard failure
+};
+
+/// Stable lowercase token for each code (used in messages and reports).
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return "generic";
+    case ErrorCode::kUsage: return "usage";
+    case ErrorCode::kParse: return "parse-error";
+    case ErrorCode::kCorruptArtifact: return "corrupt-artifact";
+    case ErrorCode::kVersionSkew: return "version-skew";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kIo: return "io-error";
+    case ErrorCode::kFaultInjected: return "fault-injected";
+  }
+  return "generic";
+}
+
+/// Maps an ErrorCode onto the CLI's sysexits-style exit codes.  64 (usage)
+/// and 65 (unknown subcommand) predate the taxonomy and are kept; the codes
+/// below extend the same range.  kGeneric stays 1, the traditional
+/// "unspecified runtime failure".
+inline int exit_code_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return 1;
+    case ErrorCode::kUsage: return 64;            // EX_USAGE
+    case ErrorCode::kNotFound: return 66;         // EX_NOINPUT
+    case ErrorCode::kParse: return 67;            // data error (65 is taken)
+    case ErrorCode::kCorruptArtifact: return 68;  // checksum/structure damage
+    case ErrorCode::kVersionSkew: return 69;      // format version mismatch
+    case ErrorCode::kFaultInjected: return 70;    // EX_SOFTWARE
+    case ErrorCode::kIo: return 74;               // EX_IOERR
+  }
+  return 1;
+}
+
 /// Exception type thrown by all DR-BW components on invalid input or state.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kGeneric)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 namespace detail {

@@ -1,7 +1,6 @@
 #include "drbw/ml/decision_tree.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -302,18 +301,46 @@ Classifier Classifier::from_json(const Json& json) {
                     DecisionTree::from_json(json.at("tree")), std::move(names));
 }
 
+namespace {
+constexpr const char* kModelKind = "model";
+constexpr int kModelVersion = 2;
+}  // namespace
+
 void Classifier::save(const std::string& path) const {
-  std::ofstream out(path);
-  DRBW_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out << to_json().dump() << '\n';
+  util::write_versioned_artifact(path, kModelKind, kModelVersion,
+                                 to_json().dump() + "\n", "model.write");
 }
 
 Classifier Classifier::load(const std::string& path) {
-  std::ifstream in(path);
-  DRBW_CHECK_MSG(in.good(), "cannot open model file '" << path << "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return from_json(Json::parse(buffer.str()));
+  return load(path, util::LoadPolicy{}, nullptr);
+}
+
+Classifier Classifier::load(const std::string& path,
+                            const util::LoadPolicy& policy,
+                            util::LoadStats* stats) {
+  const util::VersionedArtifact artifact =
+      util::read_versioned_artifact(path, kModelKind, kModelVersion, policy,
+                                    stats);
+  // artifact.legacy: pre-v2 model files are raw JSON with no header —
+  // still accepted, the "kind" key inside the document is the check.
+  Json json;
+  try {
+    // A model is one JSON document: even a lenient load (which tolerates a
+    // bad checksum) must fail hard when the document no longer parses —
+    // there is no record granularity to quarantine at.
+    json = Json::parse(artifact.body);
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what(),
+                e.code() == ErrorCode::kGeneric ? ErrorCode::kParse
+                                                : e.code());
+  }
+  try {
+    return from_json(json);
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what(),
+                e.code() == ErrorCode::kGeneric ? ErrorCode::kCorruptArtifact
+                                                : e.code());
+  }
 }
 
 }  // namespace drbw::ml

@@ -1,16 +1,41 @@
 #include "drbw/pebs/trace_io.hpp"
 
-#include <fstream>
 #include <sstream>
 
+#include "drbw/fault/injector.hpp"
+#include "drbw/obs/metrics.hpp"
 #include "drbw/util/csv.hpp"
 #include "drbw/util/strings.hpp"
 
 namespace drbw::pebs {
 
 namespace {
-constexpr const char* kHeader = "#drbw-trace v1";
-}
+
+constexpr const char* kArtifactKind = "trace";
+
+/// Loader-side instruments.  The load path is serial and keys every
+/// decision off record content / line numbers, so these counts are
+/// byte-identical at any --jobs value (golden visibility).
+struct TraceMetrics {
+  obs::Counter& records_seen;
+  obs::Counter& records_quarantined;
+  obs::Counter& checksum_failures;
+
+  static TraceMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static TraceMetrics m{
+        reg.counter("drbw_trace_records_total",
+                    "Trace records seen by the loader"),
+        reg.counter("drbw_trace_records_quarantined_total",
+                    "Malformed trace records quarantined by lenient loads"),
+        reg.counter("drbw_trace_checksum_failures_total",
+                    "Trace artifact bodies whose crc32 failed validation"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* level_token(MemLevel level) {
   switch (level) {
@@ -31,15 +56,17 @@ MemLevel level_from_token(const std::string& token) {
   if (token == "LFB") return MemLevel::kLfb;
   if (token == "LDR") return MemLevel::kLocalDram;
   if (token == "RDR") return MemLevel::kRemoteDram;
-  throw Error("unknown memory-level token '" + token + "' in trace");
+  throw Error("unknown memory-level token '" + token + "' in trace",
+              ErrorCode::kParse);
 }
 
-void write_trace(std::ostream& os, const Trace& trace) {
-  os << kHeader << '\n';
+namespace {
+
+void render_records(std::ostream& os, const Trace& trace) {
   for (const mem::AllocationEvent& e : trace.events) {
     if (e.kind == mem::AllocationEvent::Kind::kAlloc) {
-      os << "A," << CsvWriter::escape(e.site.label) << ',' << e.base << ','
-         << e.size_bytes << '\n';
+      os << "A," << CsvWriter::escape(e.site.label) << ',' << e.base
+         << ',' << e.size_bytes << '\n';
     } else {
       os << "F," << e.base << '\n';
     }
@@ -51,10 +78,18 @@ void write_trace(std::ostream& os, const Trace& trace) {
   }
 }
 
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "#drbw-trace v1" << '\n';
+  render_records(os, trace);
+}
+
 void save_trace(const std::string& path, const Trace& trace) {
-  std::ofstream out(path);
-  DRBW_CHECK_MSG(out.good(), "cannot open trace path '" << path << "'");
-  write_trace(out, trace);
+  std::ostringstream body;
+  render_records(body, trace);
+  util::write_versioned_artifact(path, kArtifactKind, kTraceVersion,
+                                 body.str(), "trace.write");
 }
 
 namespace {
@@ -93,59 +128,170 @@ std::vector<std::string> split_csv(const std::string& line) {
 
 std::uint64_t to_u64(const std::string& s) {
   std::size_t pos = 0;
-  const std::uint64_t v = std::stoull(s, &pos);
-  DRBW_CHECK_MSG(pos == s.size(), "malformed number '" << s << "' in trace");
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != s.size() || s.empty()) {
+    throw Error("malformed number '" + s + "'", ErrorCode::kParse);
+  }
   return v;
 }
 
-}  // namespace
+float to_latency(const std::string& s) {
+  std::size_t pos = 0;
+  float v = 0.0f;
+  try {
+    v = std::stof(s, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != s.size() || s.empty()) {
+    throw Error("malformed latency '" + s + "'", ErrorCode::kParse);
+  }
+  return v;
+}
 
-Trace read_trace(std::istream& is) {
-  std::string line;
-  DRBW_CHECK_MSG(std::getline(is, line) && trim(line) == kHeader,
-                 "not a DR-BW trace (missing '" << kHeader << "' header)");
+void require_arity(const std::vector<std::string>& fields, std::size_t want) {
+  if (fields.size() != want) {
+    throw Error("record has " + std::to_string(fields.size()) +
+                    " fields, expected " + std::to_string(want),
+                ErrorCode::kParse);
+  }
+}
+
+/// Parses one record line into `trace`; throws Error(kParse) naming the
+/// offending token (the caller prefixes source + line number).
+void parse_record(const std::string& line, Trace& trace) {
+  const auto fields = split_csv(line);
+  const std::string& kind = fields[0];
+  if (kind == "A") {
+    require_arity(fields, 4);
+    trace.events.push_back(mem::AllocationEvent{
+        mem::AllocationEvent::Kind::kAlloc, {fields[1]}, to_u64(fields[2]),
+        to_u64(fields[3])});
+  } else if (kind == "F") {
+    require_arity(fields, 2);
+    trace.events.push_back(mem::AllocationEvent{
+        mem::AllocationEvent::Kind::kFree, {""}, to_u64(fields[1]), 0});
+  } else if (kind == "S") {
+    require_arity(fields, 8);
+    MemorySample s;
+    s.address = to_u64(fields[1]);
+    s.cpu = static_cast<topology::CpuId>(to_u64(fields[2]));
+    s.tid = static_cast<std::uint32_t>(to_u64(fields[3]));
+    s.level = level_from_token(fields[4]);
+    s.latency_cycles = to_latency(fields[5]);
+    s.is_write = fields[6] == "1";
+    s.cycle = to_u64(fields[7]);
+    trace.samples.push_back(s);
+  } else {
+    throw Error("unknown record kind '" + kind + "'", ErrorCode::kParse);
+  }
+}
+
+/// Parses the record lines of `body` under `policy`.  `source` names the
+/// origin (file path or "<stream>") in every error; `first_line_no` is the
+/// 1-based line number of the first body line in the original file, so
+/// messages point at real file lines even though the header was stripped.
+Trace parse_records(const std::string& body, const std::string& source,
+                    std::size_t first_line_no, const util::LoadPolicy& policy,
+                    util::LoadStats* stats) {
   Trace trace;
-  std::size_t line_no = 1;
+  util::LoadStats local;
+  util::LoadStats& st = stats != nullptr ? *stats : local;
+  TraceMetrics& metrics = TraceMetrics::get();
+  std::istringstream is(body);
+  std::string line;
+  std::size_t line_no = first_line_no - 1;
   while (std::getline(is, line)) {
     ++line_no;
     if (trim(line).empty()) continue;
-    const auto fields = split_csv(line);
-    const std::string& kind = fields[0];
-    try {
-      if (kind == "A") {
-        DRBW_CHECK(fields.size() == 4);
-        trace.events.push_back(mem::AllocationEvent{
-            mem::AllocationEvent::Kind::kAlloc, {fields[1]}, to_u64(fields[2]),
-            to_u64(fields[3])});
-      } else if (kind == "F") {
-        DRBW_CHECK(fields.size() == 2);
-        trace.events.push_back(mem::AllocationEvent{
-            mem::AllocationEvent::Kind::kFree, {""}, to_u64(fields[1]), 0});
-      } else if (kind == "S") {
-        DRBW_CHECK(fields.size() == 8);
-        MemorySample s;
-        s.address = to_u64(fields[1]);
-        s.cpu = static_cast<topology::CpuId>(to_u64(fields[2]));
-        s.tid = static_cast<std::uint32_t>(to_u64(fields[3]));
-        s.level = level_from_token(fields[4]);
-        s.latency_cycles = std::stof(fields[5]);
-        s.is_write = fields[6] == "1";
-        s.cycle = to_u64(fields[7]);
-        trace.samples.push_back(s);
-      } else {
-        throw Error("unknown record kind '" + kind + "'");
-      }
-    } catch (const std::exception& e) {
-      throw Error("trace line " + std::to_string(line_no) + ": " + e.what());
+    ++st.records_seen;
+    metrics.records_seen.add(1);
+    // Fault site "trace.read": deterministically damage this line (keyed by
+    // its line number, so the decision is identical at any --jobs count).
+    if (fault::should_inject("trace.read", fault::Kind::kCorruptField,
+                             line_no)) {
+      const std::uint64_t bit = fault::corrupt_bits("trace.read", line_no, 0);
+      const std::size_t at = static_cast<std::size_t>(bit % line.size());
+      line[at] = static_cast<char>(line[at] ^ 0x11);
     }
+    try {
+      parse_record(line, trace);
+      ++st.records_ok;
+    } catch (const Error& e) {
+      if (!policy.lenient()) {
+        throw Error(source + ":" + std::to_string(line_no) + ": " + e.what(),
+                    e.code());
+      }
+      ++st.records_quarantined;
+      metrics.records_quarantined.add(1);
+    }
+  }
+  if (policy.lenient() && st.quarantined_fraction() > policy.max_bad_fraction) {
+    std::ostringstream os;
+    os << source << ": " << st.records_quarantined << " of " << st.records_seen
+       << " records are malformed, above the tolerated fraction "
+       << policy.max_bad_fraction << " — artifact too damaged to trust";
+    throw Error(os.str(), ErrorCode::kCorruptArtifact);
   }
   return trace;
 }
 
+}  // namespace
+
+Trace read_trace(std::istream& is, const util::LoadPolicy& policy,
+                 util::LoadStats* stats) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string content = buffer.str();
+  const std::size_t eol = content.find('\n');
+  const std::string first_line =
+      trim(eol == std::string::npos ? content : content.substr(0, eol));
+  const auto header = util::parse_artifact_header(first_line);
+  if (!header.has_value()) {
+    throw Error("not a DR-BW trace (missing '#drbw-trace' header)",
+                ErrorCode::kParse);
+  }
+  if (header->kind != kArtifactKind) {
+    throw Error("not a DR-BW trace (artifact kind is '" + header->kind + "')",
+                ErrorCode::kParse);
+  }
+  if (header->version > kTraceVersion) {
+    throw Error("trace format v" + std::to_string(header->version) +
+                    " is newer than the supported v" +
+                    std::to_string(kTraceVersion),
+                ErrorCode::kVersionSkew);
+  }
+  const std::string body =
+      eol == std::string::npos ? std::string() : content.substr(eol + 1);
+  return parse_records(body, "<stream>", 2, policy, stats);
+}
+
+Trace read_trace(std::istream& is) {
+  return read_trace(is, util::LoadPolicy{}, nullptr);
+}
+
+Trace load_trace(const std::string& path, const util::LoadPolicy& policy,
+                 util::LoadStats* stats) {
+  const util::VersionedArtifact artifact =
+      util::read_versioned_artifact(path, kArtifactKind, kTraceVersion, policy,
+                                    stats);
+  if (artifact.legacy) {
+    throw Error(path + ": not a DR-BW trace (missing '#drbw-trace' header)",
+                ErrorCode::kParse);
+  }
+  if (stats != nullptr && !stats->checksum_ok) {
+    TraceMetrics::get().checksum_failures.add(1);
+  }
+  return parse_records(artifact.body, path, 2, policy, stats);
+}
+
 Trace load_trace(const std::string& path) {
-  std::ifstream in(path);
-  DRBW_CHECK_MSG(in.good(), "cannot open trace file '" << path << "'");
-  return read_trace(in);
+  return load_trace(path, util::LoadPolicy{}, nullptr);
 }
 
 }  // namespace drbw::pebs

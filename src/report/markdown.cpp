@@ -1,8 +1,8 @@
 #include "drbw/report/markdown.hpp"
 
-#include <fstream>
 #include <sstream>
 
+#include "drbw/util/artifact.hpp"
 #include "drbw/util/strings.hpp"
 
 namespace drbw::report {
@@ -113,11 +113,28 @@ std::string telemetry_markdown(const obs::Registry& registry,
   return md.str();
 }
 
+std::string robustness_markdown(const util::LoadStats& stats,
+                                const std::string& source,
+                                const std::string& load_mode) {
+  std::ostringstream md;
+  md << "\n## Robustness\n\n"
+     << "Trace load accounting (`" << source << "`, " << load_mode
+     << " mode). Quarantine counts are deterministic for identical input\n"
+     << "and fault spec at any `--jobs` value.\n\n"
+     << "| outcome | records |\n"
+     << "|---|---:|\n"
+     << "| seen | " << stats.records_seen << " |\n"
+     << "| parsed ok | " << stats.records_ok << " |\n"
+     << "| quarantined | " << stats.records_quarantined << " |\n"
+     << "| checksum | " << (stats.checksum_ok ? "ok" : "FAILED (tolerated)")
+     << " |\n";
+  return md.str();
+}
+
 void write_file(const std::string& path, const std::string& markdown) {
-  std::ofstream out(path);
-  DRBW_CHECK_MSG(out.good(), "cannot open report path '" << path << "'");
-  out << markdown;
-  DRBW_CHECK_MSG(out.good(), "failed writing report to '" << path << "'");
+  // Reports are artifacts too: route them through the atomic writer so a
+  // crash mid-write never leaves a truncated report at the target path.
+  util::atomic_write_file(path, markdown);
 }
 
 }  // namespace drbw::report

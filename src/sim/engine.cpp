@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "drbw/fault/injector.hpp"
 #include "drbw/obs/trace.hpp"
 
 namespace drbw::sim {
@@ -21,6 +22,8 @@ struct SimMetrics {
   obs::Counter& demand_bytes;
   obs::Counter& samples;
   obs::Counter& samples_below_threshold;
+  obs::Counter& samples_fault_dropped;
+  obs::Counter& samples_fault_corrupted;
   obs::Histogram& utilization_pct;
   obs::Histogram& sample_latency;
 
@@ -37,6 +40,11 @@ struct SimMetrics {
         reg.counter("drbw_sim_samples_total", "PEBS/IBS samples emitted"),
         reg.counter("drbw_sim_samples_below_threshold_total",
                     "PEBS draws dropped by the latency threshold"),
+        reg.counter("drbw_sim_samples_fault_dropped_total",
+                    "Samples discarded by the pebs.sample drop fault site"),
+        reg.counter("drbw_sim_samples_fault_corrupted_total",
+                    "Samples bit-damaged by the pebs.sample corrupt fault "
+                    "site"),
         reg.histogram("drbw_sim_epoch_channel_utilization_pct",
                       "Per-epoch utilization of each demanded channel (%)",
                       {10, 25, 50, 75, 90, 95, 99, 100}),
@@ -283,6 +291,26 @@ void Engine::emit_samples(ThreadState& ts, std::uint64_t served,
                        static_cast<double>(offset) /
                        static_cast<double>(std::max<std::uint64_t>(served, 1)) *
                        static_cast<double>(config_.epoch_cycles));
+    // PEBS fault sites (buffer-overflow drops, DMA bit damage).  The key is
+    // derived from the sample's own content — address, cycle, tid — which
+    // is identical at any --jobs count, so the same samples drop or corrupt
+    // regardless of run scheduling.
+    if constexpr (fault::kEnabled) {
+      const std::uint64_t fault_key =
+          sample.address ^ (sample.cycle * 0x9e3779b97f4a7c15ULL) ^
+          sample.tid;
+      if (fault::should_inject("pebs.sample", fault::Kind::kDropSample,
+                               fault_key)) {
+        SimMetrics::get().samples_fault_dropped.add(1);
+        continue;
+      }
+      if (fault::should_inject("pebs.sample", fault::Kind::kCorruptField,
+                               fault_key)) {
+        sample.address =
+            fault::corrupt_bits("pebs.sample", fault_key, sample.address);
+        SimMetrics::get().samples_fault_corrupted.add(1);
+      }
+    }
     result.samples.push_back(sample);
   }
 }
@@ -381,6 +409,11 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
     while (live > 0) {
       DRBW_CHECK_MSG(++epochs_used <= config_.max_epochs,
                      "simulation exceeded max_epochs = " << config_.max_epochs);
+      // Epoch-granular hard failure (keyed by the serial epoch counter, so
+      // the same epoch fails at any --jobs count).
+      fault::maybe_fail("engine.epoch", epochs_used,
+                        "injected engine failure at epoch " +
+                            std::to_string(epochs_used));
 
       // --- fixed point: rates <-> channel multipliers ---
       for (int round = 0; round < config_.fixed_point_rounds; ++round) {

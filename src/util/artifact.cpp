@@ -1,0 +1,300 @@
+#include "drbw/util/artifact.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "drbw/fault/injector.hpp"
+#include "drbw/util/strings.hpp"
+
+namespace drbw::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+LoadPolicy load_policy_from_name(const std::string& name,
+                                 double max_bad_fraction) {
+  LoadPolicy policy;
+  policy.max_bad_fraction = max_bad_fraction;
+  if (name == "strict") {
+    policy.mode = LoadMode::kStrict;
+  } else if (name == "lenient") {
+    policy.mode = LoadMode::kLenient;
+  } else {
+    throw Error("load mode must be strict or lenient, got '" + name + "'",
+                ErrorCode::kUsage);
+  }
+  return policy;
+}
+
+std::string format_artifact_header(const std::string& kind, int version,
+                                   std::string_view body) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "#drbw-%s v%d crc32=%08x bytes=%zu",
+                kind.c_str(), version, crc32(body), body.size());
+  return std::string(buf);
+}
+
+std::optional<ArtifactHeader> parse_artifact_header(std::string_view line) {
+  constexpr std::string_view kPrefix = "#drbw-";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  const std::string text(line);
+  ArtifactHeader header;
+  // Tokens: "#drbw-<kind>" "v<version>" ["crc32=<hex>" "bytes=<n>"].
+  const std::vector<std::string> tokens = split(trim(text), ' ');
+  header.kind = tokens[0].substr(kPrefix.size());
+  if (header.kind.empty() || tokens.size() < 2 || tokens[1].size() < 2 ||
+      tokens[1][0] != 'v') {
+    throw Error("malformed artifact header '" + text + "'", ErrorCode::kParse);
+  }
+  char* end = nullptr;
+  header.version =
+      static_cast<int>(std::strtol(tokens[1].c_str() + 1, &end, 10));
+  if (end == nullptr || *end != '\0' || header.version <= 0) {
+    throw Error("malformed artifact version in header '" + text + "'",
+                ErrorCode::kParse);
+  }
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("crc32=", 0) == 0) {
+      header.crc = static_cast<std::uint32_t>(
+          std::strtoul(token.c_str() + 6, &end, 16));
+      if (end == nullptr || *end != '\0' || token.size() != 6 + 8) {
+        throw Error("malformed crc32 field in header '" + text + "'",
+                    ErrorCode::kParse);
+      }
+      header.has_checksum = true;
+    } else if (token.rfind("bytes=", 0) == 0) {
+      header.bytes = static_cast<std::size_t>(
+          std::strtoull(token.c_str() + 6, &end, 10));
+      if (end == nullptr || *end != '\0') {
+        throw Error("malformed bytes field in header '" + text + "'",
+                    ErrorCode::kParse);
+      }
+    } else if (!token.empty()) {
+      throw Error("unknown field '" + token + "' in artifact header '" + text +
+                      "'",
+                  ErrorCode::kParse);
+    }
+  }
+  return header;
+}
+
+std::string sibling_hint(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path p(path);
+  const fs::path dir = p.has_parent_path() ? p.parent_path() : fs::path(".");
+  const std::string ext = p.extension().string();
+  std::vector<std::string> candidates;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    if (!ext.empty() && entry.path().extension().string() != ext) continue;
+    candidates.push_back(entry.path().filename().string());
+  }
+  if (candidates.empty()) return "";
+  std::sort(candidates.begin(), candidates.end());
+  if (candidates.size() > 5) candidates.resize(5);
+  std::string hint = "; did you mean ";
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i > 0) hint += ", ";
+    hint += "'" + (dir / candidates[i]).string() + "'";
+  }
+  return hint + "?";
+}
+
+void require_input_file(const std::string& path, const std::string& what) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::exists(path, ec) && !fs::is_directory(path, ec)) return;
+  throw Error(what + " '" + path + "' does not exist" + sibling_hint(path),
+              ErrorCode::kNotFound);
+}
+
+std::string read_file_or_throw(const std::string& path,
+                               const std::string& what) {
+  require_input_file(path, what);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open " + what + " '" + path +
+                    "': " + std::strerror(errno),
+                ErrorCode::kIo);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw Error("I/O error reading " + what + " '" + path + "'",
+                ErrorCode::kIo);
+  }
+  return buffer.str();
+}
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  const bool short_write = fault::should_inject(
+      "artifact.write", fault::Kind::kShortWrite, crc32(content));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw Error("cannot open '" + tmp + "' for writing: " +
+                      std::strerror(errno),
+                  ErrorCode::kIo);
+    }
+    const std::string_view written =
+        short_write ? content.substr(0, content.size() / 2) : content;
+    out.write(written.data(),
+              static_cast<std::streamsize>(written.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw Error("short write to '" + tmp + "'", ErrorCode::kIo);
+    }
+  }
+  if (short_write) {
+    // Simulated crash between write and rename: the half-written temp file
+    // stays behind, the target path is never touched.
+    throw Error("injected crash mid-write of '" + path +
+                    "' (temp file left at '" + tmp + "')",
+                ErrorCode::kFaultInjected);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error("cannot rename '" + tmp + "' over '" + path + "'",
+                ErrorCode::kIo);
+  }
+}
+
+void write_versioned_artifact(const std::string& path, const std::string& kind,
+                              int version, std::string_view body,
+                              const std::string& fault_site) {
+  // Checksum the pristine body first: injected damage below must be
+  // detectable on load exactly like real damage.
+  const std::string header = format_artifact_header(kind, version, body);
+  std::string damaged;
+  if (!fault_site.empty() && fault::kEnabled) {
+    const std::uint64_t key = crc32(body);
+    if (fault::should_inject(fault_site, fault::Kind::kTruncateFile, key)) {
+      damaged.assign(body.substr(0, body.size() / 2));
+      body = damaged;
+    } else if (fault::should_inject(fault_site, fault::Kind::kMalformJson,
+                                    key)) {
+      // Cut mid-token near the end: enough to break JSON without emptying
+      // the file.
+      damaged.assign(body.substr(0, body.size() - std::min<std::size_t>(
+                                                      body.size(), 7)));
+      body = damaged;
+    } else if (fault::should_inject(fault_site, fault::Kind::kCorruptField,
+                                    key)) {
+      damaged.assign(body);
+      if (!damaged.empty()) {
+        const std::size_t at = key % damaged.size();
+        damaged[at] = static_cast<char>(damaged[at] ^ 0x10);
+      }
+      body = damaged;
+    }
+  }
+  std::string content;
+  content.reserve(header.size() + 1 + body.size());
+  content += header;
+  content += '\n';
+  content += body;
+  atomic_write_file(path, content);
+}
+
+VersionedArtifact read_versioned_artifact(const std::string& path,
+                                          const std::string& kind,
+                                          int max_version,
+                                          const LoadPolicy& policy,
+                                          LoadStats* stats) {
+  const std::string content = read_file_or_throw(path, kind + " file");
+  VersionedArtifact result;
+  const std::size_t eol = content.find('\n');
+  const std::string first_line =
+      trim(eol == std::string::npos ? content : content.substr(0, eol));
+  std::optional<ArtifactHeader> header;
+  try {
+    header = parse_artifact_header(first_line);
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what(), e.code());
+  }
+  if (!header.has_value()) {
+    result.legacy = true;
+    result.body = content;
+    return result;
+  }
+  if (header->kind != kind) {
+    throw Error(path + ": artifact kind is '" + header->kind +
+                    "', expected '" + kind + "'",
+                ErrorCode::kParse);
+  }
+  if (header->version > max_version) {
+    throw Error(path + ": " + kind + " format v" +
+                    std::to_string(header->version) +
+                    " is newer than the supported v" +
+                    std::to_string(max_version) +
+                    " (version skew — rebuild or regenerate the artifact)",
+                ErrorCode::kVersionSkew);
+  }
+  result.header = *header;
+  result.body =
+      eol == std::string::npos ? std::string() : content.substr(eol + 1);
+  if (header->has_checksum) {
+    const std::uint32_t actual = crc32(result.body);
+    const bool size_ok = result.body.size() == header->bytes;
+    if (actual != header->crc || !size_ok) {
+      if (!policy.lenient()) {
+        std::ostringstream os;
+        os << path << ": " << kind << " body fails validation (";
+        if (!size_ok) {
+          os << "length " << result.body.size() << " != declared "
+             << header->bytes;
+        } else {
+          char want[16];
+          char got[16];
+          std::snprintf(want, sizeof want, "%08x", header->crc);
+          std::snprintf(got, sizeof got, "%08x", actual);
+          os << "crc32 " << got << " != declared " << want;
+        }
+        os << ") — artifact is truncated or corrupt";
+        throw Error(os.str(), ErrorCode::kCorruptArtifact);
+      }
+      if (stats != nullptr) stats->checksum_ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace drbw::util

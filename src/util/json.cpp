@@ -1,5 +1,6 @@
 #include "drbw/util/json.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -199,14 +200,34 @@ class Parser {
   Json parse_document() {
     Json value = parse_value();
     skip_ws();
-    DRBW_CHECK_MSG(pos_ == text_.size(),
-                   "trailing characters after JSON document at offset " << pos_);
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
     return value;
   }
 
  private:
   [[noreturn]] void fail(const std::string& why) {
-    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " + why);
+    // Report line:column (1-based) plus the offending token: model files are
+    // multi-line documents, and a raw byte offset is useless in an editor.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::string near;
+    if (pos_ < text_.size()) {
+      std::string_view rest = text_.substr(pos_);
+      const std::size_t stop = std::min<std::size_t>(
+          {rest.size(), rest.find('\n'), std::size_t{12}});
+      near = " near '" + std::string(rest.substr(0, stop)) + "'";
+    }
+    throw Error("JSON parse error at line " + std::to_string(line) + ":" +
+                    std::to_string(column) + ": " + why + near,
+                ErrorCode::kParse);
   }
 
   void skip_ws() {

@@ -290,9 +290,17 @@ TEST(DrBwCliExitCodeTest, MalformedArgumentsExit64) {
   EXPECT_EQ(run_cli("record --timing sideways"), 64);  // bad --timing value
 }
 
-TEST(DrBwCliExitCodeTest, RuntimeFailuresExit1) {
-  EXPECT_EQ(run_cli("analyze --trace /nonexistent/trace.csv"), 1);
-  EXPECT_EQ(run_cli("stats --trace /nonexistent/obs.json"), 1);
+TEST(DrBwCliExitCodeTest, MissingInputsExit66) {
+  // Missing input files are detected early and mapped to EX_NOINPUT.
+  EXPECT_EQ(run_cli("analyze --trace /nonexistent/trace.csv"), 66);
+  EXPECT_EQ(run_cli("stats --trace /nonexistent/obs.json"), 66);
+  EXPECT_EQ(run_cli("inspect --model /nonexistent/model.json"), 66);
+}
+
+TEST(DrBwCliExitCodeTest, BadFaultSpecExits64) {
+  EXPECT_EQ(run_cli("record --inject-faults not-a-spec"), 64);
+  EXPECT_EQ(run_cli("record --inject-faults trace.read:corrupt:2.0"), 64);
+  EXPECT_EQ(run_cli("analyze --load-mode sometimes"), 64);
 }
 #endif
 

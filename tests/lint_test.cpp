@@ -37,6 +37,9 @@ TEST(LintClassifyTest, LayersAndEmittersFollowPaths) {
   EXPECT_TRUE(classify("src/report/markdown.cpp").is_emitter);
   EXPECT_TRUE(classify("src/pebs/trace_io.cpp").is_emitter);
   EXPECT_TRUE(classify("src/ml/dataset.cpp").is_emitter);
+  EXPECT_TRUE(classify("src/ml/decision_tree.cpp").is_emitter);
+  EXPECT_TRUE(classify("src/util/artifact.cpp").is_artifact_home);
+  EXPECT_FALSE(classify("src/pebs/trace_io.cpp").is_artifact_home);
   EXPECT_TRUE(classify("tools/drbw_cli.cpp").is_emitter);
   EXPECT_FALSE(classify("src/sim/engine.cpp").is_emitter);
   EXPECT_FALSE(classify("tools/lint/lint_rules.cpp").is_emitter);
@@ -241,6 +244,46 @@ TEST(LintIncludeHygieneTest, HeaderRules) {
                               "#pragma once\n#include \"drbw/util/rng.hpp\"\n"
                               "#include <vector>\n"),
                         "include-hygiene"));
+}
+
+TEST(LintArtifactWriteTest, OfstreamBannedInEmitters) {
+  const std::string snippet = "std::ofstream out(path);\nout << body;\n";
+  EXPECT_TRUE(has_rule(check("src/pebs/trace_io.cpp", snippet),
+                       "no-naked-artifact-write"));
+  EXPECT_TRUE(has_rule(check("src/ml/decision_tree.cpp", snippet),
+                       "no-naked-artifact-write"));
+  EXPECT_TRUE(has_rule(check("src/report/markdown.cpp", snippet),
+                       "no-naked-artifact-write"));
+  EXPECT_TRUE(has_rule(check("tools/drbw_cli.cpp", snippet),
+                       "no-naked-artifact-write"));
+  // Non-emitters may open streams; the artifact home *implements* the
+  // atomic path, so its own ofstream is the one legitimate use.
+  EXPECT_FALSE(has_rule(check("src/sim/engine.cpp", snippet),
+                        "no-naked-artifact-write"));
+  EXPECT_FALSE(has_rule(check("src/util/artifact.cpp", snippet),
+                        "no-naked-artifact-write"));
+  // Reading is not writing, and prose is not code.
+  EXPECT_FALSE(has_rule(check("src/pebs/trace_io.cpp",
+                              "std::ifstream in(path);\n"),
+                        "no-naked-artifact-write"));
+  EXPECT_FALSE(has_rule(check("src/pebs/trace_io.cpp",
+                              "// a std::ofstream scoped by the harness\n"),
+                        "no-naked-artifact-write"));
+}
+
+TEST(LintArtifactWriteTest, AllowEscapeNeedsReason) {
+  EXPECT_FALSE(has_rule(
+      check("src/report/markdown.cpp",
+            "// drbw-lint: allow(no-naked-artifact-write) streaming sink, "
+            "caller owns atomicity\n"
+            "std::ofstream out(path);\n"),
+      "no-naked-artifact-write"));
+  const auto findings =
+      check("src/report/markdown.cpp",
+            "// drbw-lint: allow(no-naked-artifact-write)\n"
+            "std::ofstream out(path);\n");
+  EXPECT_TRUE(has_rule(findings, "no-naked-artifact-write"));
+  EXPECT_TRUE(has_rule(findings, "allow-missing-reason"));
 }
 
 TEST(LintRawAllocTest, CatchesNewDeleteMallocOutsideMem) {

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "drbw/ml/decision_tree.hpp"
+#include "drbw/util/artifact.hpp"
 
 namespace drbw::ml {
 namespace {
@@ -32,18 +33,33 @@ TEST(ModelRoundTripTest, CommittedModelReserializesByteIdentical) {
   const std::string committed = read_file(kModelPath);
   ASSERT_FALSE(committed.empty());
   const Classifier model = Classifier::load(kModelPath);
-  // Classifier::save writes dump() plus a trailing newline; reproduce it.
-  EXPECT_EQ(model.to_json().dump() + "\n", committed)
+  // Classifier::save writes the versioned artifact header, the JSON dump,
+  // and a trailing newline; reproduce the exact bytes.
+  const std::string body = model.to_json().dump() + "\n";
+  EXPECT_EQ(util::format_artifact_header("model", 2, body) + "\n" + body,
+            committed)
       << "model serialization drifted from the committed artifact — if the "
          "format change is intentional, retrain/save and recommit "
          "drbw_model.json";
+}
+
+TEST(ModelRoundTripTest, CommittedModelChecksumValidates) {
+  // The committed artifact's own header must validate: a bad checksum here
+  // means drbw_model.json was hand-edited without re-saving.
+  util::LoadStats stats;
+  (void)util::read_versioned_artifact(kModelPath, "model", 2,
+                                      util::LoadPolicy{}, &stats);
+  EXPECT_TRUE(stats.checksum_ok);
 }
 
 TEST(ModelRoundTripTest, ParseDumpFixpoint) {
   // Once normalized by one parse+dump, the text is a fixpoint: a second
   // round trip changes nothing.  Guards the serializer against asymmetries
   // the committed-file pin would miss (e.g. if the artifact were stale).
-  const std::string once = Json::parse(read_file(kModelPath)).dump();
+  const std::string body =
+      util::read_versioned_artifact(kModelPath, "model", 2, util::LoadPolicy{})
+          .body;
+  const std::string once = Json::parse(body).dump();
   EXPECT_EQ(Json::parse(once).dump(), once);
 }
 

@@ -28,20 +28,26 @@
 //
 // train/record/analyze additionally accept --trace-out FILE (Chrome
 // trace_event JSON), --metrics-out FILE (.json => JSON, else Prometheus
-// text), and --timing sim|wall (wall-clock span durations; marks the trace
-// non-golden).
+// text), --timing sim|wall (wall-clock span durations; marks the trace
+// non-golden), and --inject-faults SPEC (deterministic fault injection,
+// grammar: seed=N,site:kind:rate,...).  analyze also accepts
+// --load-mode strict|lenient and --max-bad-fraction F (lenient loads
+// quarantine malformed trace records and escalate past the cap).
 //
 // Exit codes: 0 success, 1 runtime error, 2 analyze found contention,
-// 64 malformed arguments, 65 unknown subcommand.
+// 64 malformed arguments, 65 unknown subcommand, 66 missing input file,
+// 67 parse error, 68 corrupt artifact, 69 artifact version skew,
+// 70 injected fault, 74 I/O error.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 
 #include "drbw/drbw.hpp"
+#include "drbw/fault/injector.hpp"
 #include "drbw/obs/trace.hpp"
 #include "drbw/pebs/trace_io.hpp"
+#include "drbw/util/artifact.hpp"
 #include "drbw/report/markdown.hpp"
 #include "drbw/util/ascii_chart.hpp"
 #include "drbw/util/cli.hpp"
@@ -100,12 +106,40 @@ struct ObsSinks {
     }
     const std::string& metrics_out = parser.option("metrics-out");
     if (!metrics_out.empty()) {
-      std::ofstream out(metrics_out, std::ios::binary);
-      if (!out) throw Error("cannot open metrics output file: " + metrics_out);
-      out << (metrics_out.ends_with(".json")
-                  ? obs::Registry::global().json_text()
-                  : obs::Registry::global().prometheus_text());
+      util::atomic_write_file(metrics_out,
+                              metrics_out.ends_with(".json")
+                                  ? obs::Registry::global().json_text()
+                                  : obs::Registry::global().prometheus_text());
       std::cout << "metrics written to " << metrics_out << '\n';
+    }
+  }
+};
+
+/// Shared --inject-faults plumbing.  `begin` arms the process-wide injector
+/// before any pipeline work; spec errors surface as usage errors (exit 64)
+/// like any other malformed flag value.
+struct FaultOptions {
+  static void add_options(ArgParser& parser) {
+    parser.add_option(
+        "inject-faults",
+        "deterministic fault spec: seed=N,site:kind:rate,... (sites: "
+        "pebs.sample, engine.epoch, trace.read, trace.write, model.write, "
+        "artifact.write; kinds: drop, corrupt, truncate, malform, "
+        "short-write, fail)",
+        "");
+  }
+
+  static void begin(const ArgParser& parser) {
+    const std::string& spec = parser.option("inject-faults");
+    if (spec.empty()) return;
+    try {
+      fault::Injector::global().arm(fault::Plan::parse(spec));
+    } catch (const Error& e) {
+      throw UsageError(std::string("--inject-faults: ") + e.what());
+    }
+    if (!fault::kEnabled) {
+      std::cerr << "drbw: warning: built with -DDRBW_FAULT=OFF; "
+                   "--inject-faults is accepted but no fault can fire\n";
     }
   }
 };
@@ -144,8 +178,10 @@ int cmd_train(int argc, char** argv) {
                     "thread); the trained model is identical at any value",
                     "0");
   ObsSinks::add_options(parser);
+  FaultOptions::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   ObsSinks::begin(parser);
+  FaultOptions::begin(parser);
   const auto machine = machine_by_name(parser.option("machine"));
   DRBW_CHECK_MSG(parser.option("machine") == "xeon",
                  "the Table II generator targets the Xeon's Tt-Nn grid");
@@ -169,8 +205,10 @@ int cmd_record(int argc, char** argv) {
   parser.add_option("out", "trace output path", "drbw_trace.csv");
   parser.add_option("seed", "run seed", "7");
   ObsSinks::add_options(parser);
+  FaultOptions::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   ObsSinks::begin(parser);
+  FaultOptions::begin(parser);
 
   const auto machine = topology::Machine::xeon_e5_4650();
   const auto bench = workloads::make_suite_benchmark(parser.option("benchmark"));
@@ -225,19 +263,52 @@ int cmd_analyze(int argc, char** argv) {
   parser.add_option("model", "trained model (empty = train now)", "");
   parser.add_option("windows", "split the run into N time windows", "1");
   parser.add_option("report", "also write a Markdown report here", "");
+  parser.add_option("load-mode",
+                    "strict (reject the first malformed record) | lenient "
+                    "(quarantine malformed records, escalate past "
+                    "--max-bad-fraction)",
+                    "strict");
+  parser.add_option("max-bad-fraction",
+                    "lenient only: tolerated quarantined/seen record "
+                    "fraction before the load fails as corrupt",
+                    "0.25");
   ObsSinks::add_options(parser);
+  FaultOptions::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   ObsSinks::begin(parser);
+  FaultOptions::begin(parser);
+
+  util::LoadPolicy policy;
+  try {
+    policy = util::load_policy_from_name(
+        parser.option("load-mode"), parser.option_double("max-bad-fraction"));
+  } catch (const Error& e) {
+    throw UsageError(std::string("--load-mode: ") + e.what());
+  }
+  // Fail fast on missing inputs (exit 66 with a sibling hint) before any
+  // model training or trace parsing happens.
+  util::require_input_file(parser.option("trace"), "trace file");
+  if (!parser.option("model").empty()) {
+    util::require_input_file(parser.option("model"), "model file");
+  }
 
   const auto machine = topology::Machine::xeon_e5_4650();
-  const auto trace = pebs::load_trace(parser.option("trace"));
+  util::LoadStats load_stats;
+  const auto trace =
+      pebs::load_trace(parser.option("trace"), policy, &load_stats);
   std::cout << "loaded " << trace.samples.size() << " samples, "
-            << trace.events.size() << " allocation events\n";
+            << trace.events.size() << " allocation events";
+  if (load_stats.records_quarantined > 0 || !load_stats.checksum_ok) {
+    std::cout << " (" << load_stats.records_quarantined << " of "
+              << load_stats.records_seen << " records quarantined"
+              << (load_stats.checksum_ok ? "" : ", checksum FAILED") << ")";
+  }
+  std::cout << '\n';
 
   const ml::Classifier model =
       parser.option("model").empty()
           ? workloads::train_default_classifier(machine)
-          : ml::Classifier::load(parser.option("model"));
+          : ml::Classifier::load(parser.option("model"), policy);
   const DrBw tool(machine, model);
 
   TraceLocator locator(trace.events);
@@ -251,9 +322,12 @@ int cmd_analyze(int argc, char** argv) {
     if (!parser.option("report").empty()) {
       report::ReportMeta meta;
       meta.workload = parser.option("trace");
-      report::write_file(parser.option("report"),
-                         report::to_markdown(report, machine, meta) +
-                             report::telemetry_markdown(obs::Registry::global()));
+      report::write_file(
+          parser.option("report"),
+          report::to_markdown(report, machine, meta) +
+              report::robustness_markdown(load_stats, parser.option("trace"),
+                                          parser.option("load-mode")) +
+              report::telemetry_markdown(obs::Registry::global()));
       std::cout << "report written to " << parser.option("report") << '\n';
     }
     ObsSinks::finish(parser);
@@ -299,11 +373,8 @@ int cmd_stats(int argc, char** argv) {
   parser.add_option("top", "show only the N busiest channels (0 = all)", "0");
   if (!parser.parse(argc, argv)) return 0;
 
-  std::ifstream in(parser.option("trace"), std::ios::binary);
-  if (!in) throw Error("cannot open trace file: " + parser.option("trace"));
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const Json root = Json::parse(buffer.str());
+  const Json root = Json::parse(
+      util::read_file_or_throw(parser.option("trace"), "trace file"));
 
   // Per-channel (epoch-start-cycle, utilization) series from the engine's
   // per-epoch "epoch" counter events.  Any other event kinds are skipped, so
@@ -364,6 +435,7 @@ int cmd_inspect(int argc, char** argv) {
   ArgParser parser("drbw inspect", "Pretty-print a trained model");
   parser.add_option("model", "model path", "drbw_model.json");
   if (!parser.parse(argc, argv)) return 0;
+  util::require_input_file(parser.option("model"), "model file");
   const auto model = ml::Classifier::load(parser.option("model"));
   std::cout << model.describe() << "\nfeatures used:";
   for (const int f : model.tree().used_features()) {
@@ -420,9 +492,11 @@ int main(int argc, char** argv) {
     if (sub == "stats") return cmd_stats(argc - 1, argv + 1);
     std::cerr << "unknown subcommand '" << sub << "'\n" << usage;
     return kExitUnknownCommand;
-  } catch (const UsageError& e) {
+  } catch (const Error& e) {
+    // Typed failures map onto the sysexits-style table in the doc comment
+    // (UsageError carries kUsage, so it lands on 64 like before).
     std::cerr << "drbw: " << e.what() << '\n';
-    return kExitUsage;
+    return exit_code_for(e.code());
   } catch (const std::exception& e) {
     std::cerr << "drbw: " << e.what() << '\n';
     return 1;

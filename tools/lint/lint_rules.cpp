@@ -26,9 +26,10 @@ bool contains(std::string_view s, std::string_view needle) {
 /// Emitter files: anything whose output is an ordered artifact (trace CSVs,
 /// datasets, reports, rendered tables/charts, the CLI).  Iterating an
 /// unordered container there silently couples the artifact to hash order.
-constexpr std::array<std::string_view, 10> kEmitterMarks = {
+constexpr std::array<std::string_view, 11> kEmitterMarks = {
     "/report/",    "trace_io",     "dataset",   "markdown",   "/util/csv",
     "/util/json",  "/util/table",  "/util/ascii_chart", "/tool/", "drbw_cli",
+    "decision_tree",
 };
 
 }  // namespace
@@ -42,6 +43,7 @@ FileInfo classify(std::string_view path) {
   info.is_public_header = info.is_header && contains(p, "include/drbw/");
   info.in_mem_layer = contains(p, "/mem/") || starts_with(p, "mem/");
   info.is_rng_home = ends_with(p, "util/rng.hpp");
+  info.is_artifact_home = contains(p, "util/artifact");
   info.is_obs_wall_home = contains(p, "src/obs/");
   info.is_bench = contains(p, "bench/") || starts_with(p, "bench");
   for (const auto mark : kEmitterMarks) {
@@ -342,6 +344,17 @@ class Checker {
                "'" + std::string(t.text) +
                    "(...)' outside mem/: the malloc family belongs to the "
                    "interception layer");
+      }
+      // Emitter files must not open output streams directly: artifacts go
+      // through util::atomic_write_file / util::write_versioned_artifact
+      // (write-temp-then-rename + checksummed header), so a crash or an
+      // injected fault can never leave a partial file at the final path.
+      if (t.text == "ofstream" && info_.is_emitter && !info_.is_artifact_home) {
+        report(t.line, "no-naked-artifact-write",
+               "std::ofstream in an emitter file: route artifact output "
+               "through util::atomic_write_file or "
+               "util::write_versioned_artifact so partial files cannot "
+               "appear at the final path (or justify with an allow comment)");
       }
       if (t.text == "using" && k + 1 < tokens.size() &&
           tokens[k + 1].text == "namespace" && info_.is_header) {

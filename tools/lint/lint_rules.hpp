@@ -39,6 +39,7 @@ struct FileInfo {
   bool in_mem_layer = false;      // mem/ subsystem: raw allocation allowed
   bool is_rng_home = false;       // util/rng.hpp: entropy sources allowed
   bool is_emitter = false;        // writes traces / datasets / reports
+  bool is_artifact_home = false;  // util/artifact.*: owns the atomic-write path
   bool is_obs_wall_home = false;  // src/obs/: the one wall-clock shim lives here
   bool is_bench = false;          // bench/: chrono self-timing is its job
 };
