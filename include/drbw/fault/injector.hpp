@@ -16,16 +16,19 @@
 // derive keys from content (sample fields, line numbers, body checksums),
 // which is scheduling-independent by construction.
 //
-// Layering: fault sits below util, beside obs.  It depends only on the
-// standard library and the header-only drbw/util/error.hpp; consumers
-// (trace I/O, the engine, the artifact writer) count quarantines and drops
-// in their own obs instruments.
+// Layering: fault sits at the very bottom, below obs and util.  It depends
+// only on the standard library and the header-only drbw/util/error.hpp;
+// consumers (trace I/O, the engine, the artifact writer) count quarantines
+// and drops in their own obs instruments, and the obs flight recorder
+// installs a fire hook (set_fire_hook) so every fired site leaves a
+// breadcrumb without the fault layer ever depending upward.
 //
 // Compile-out: -DDRBW_FAULT=OFF defines DRBW_FAULT_DISABLED, which turns
 // every query below into a constant `false` the optimizer deletes — zero
 // instrumented overhead, like the obs layer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -72,7 +75,8 @@ struct SiteSpec {
 ///   clause := 'seed=' uint64
 ///           | site ':' kind ':' rate
 ///   site   := dotted identifier   (pebs.sample, engine.epoch, trace.read,
-///                                  trace.write, model.write, artifact.write)
+///                                  trace.write, model.write, artifact.write,
+///                                  diagnose.cf, report.render)
 ///   kind   := drop | corrupt | truncate | malform | short-write | fail
 ///   rate   := decimal in [0, 1]
 ///
@@ -117,11 +121,22 @@ class Injector {
   std::vector<std::pair<std::string, std::uint64_t>> fire_counts() const;
   void reset_counts();
 
+  /// Breadcrumb hook invoked after every *fired* (tallied) decision.  The
+  /// obs flight recorder installs it so fault-site hits appear in flight
+  /// dumps; a plain function pointer keeps fault free of upward
+  /// dependencies.  The callee must not query the injector re-entrantly.
+  using FireHook = void (*)(std::string_view site, const char* kind_token,
+                            std::uint64_t key);
+  void set_fire_hook(FireHook hook) {
+    fire_hook_.store(hook, std::memory_order_relaxed);
+  }
+
   static Injector& global();
 
  private:
   bool armed_ = false;
   Plan plan_;
+  std::atomic<FireHook> fire_hook_{nullptr};
   mutable std::mutex mutex_;  // guards counts_ only
   std::vector<std::pair<std::string, std::uint64_t>> counts_;  // sorted keys
 };

@@ -1,0 +1,89 @@
+// drbw::obs run manifest — the provenance record every CLI run leaves behind.
+//
+// A `run.json` ties an artifact back to the exact run that produced it: the
+// subcommand and resolved configuration, the canonical fault spec, the CRC
+// and size of every input and output artifact (reusing the checksummed
+// `#drbw-*` headers), quarantine accounting, fault-site fire tallies,
+// per-stage span statistics from the flight recorder, a final
+// metrics-registry snapshot, and the outcome (exit code + message).  It is
+// written atomically with a `#drbw-manifest v1` checksummed header — the
+// manifest is itself an artifact.
+//
+// Determinism: the document splits into a "golden" object (everything that
+// is a pure function of the invocation — byte-identical at any --jobs
+// value) and a "context" object (the --jobs value itself, flight-ring
+// occupancy, and wall-mode span stats).  For identical invocations that
+// differ only in --jobs, manifests differ in exactly two lines: the header
+// (whose crc32 covers the body) and the `"jobs":` line — test-enforced.
+//
+// Layering: obs-side (below util) so the sinks and the CLI share it without
+// an upward dependency; serialization is hand-rolled like the other obs
+// exporters, parsing lives above in report/postmortem via util::Json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "drbw/obs/flight_recorder.hpp"
+
+namespace drbw::obs {
+
+/// Version of the `#drbw-manifest` artifact.
+inline constexpr int kManifestVersion = 1;
+
+/// Default manifest / flight-dump filenames inside a run directory.
+inline constexpr const char* kManifestFileName = "run.json";
+inline constexpr const char* kFlightFileName = "flight.log";
+
+/// One input or output artifact, identified by content.  `kind`/`version`/
+/// `crc`/`bytes` come from the artifact's own `#drbw-*` header when it has
+/// one; headerless files get kind "raw" and a whole-file crc.
+struct ArtifactRef {
+  std::string role;  ///< "trace-in", "model-out", "report-out", …
+  std::string path;
+  std::string kind;
+  int version = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The full provenance record.  The CLI fills one per run and writes it
+/// last, so a manifest on disk always describes a finished (or failed) run.
+struct RunManifest {
+  // -- golden --------------------------------------------------------------
+  std::string subcommand;
+  /// Resolved option values, sorted by name; excludes --jobs (context) and
+  /// --run-dir (the manifest's own location carries no information).
+  std::vector<std::pair<std::string, std::string>> config;
+  std::string fault_spec;  ///< canonical Plan::to_string(), "" when unarmed
+  std::vector<ArtifactRef> inputs;
+  std::vector<ArtifactRef> outputs;
+  bool has_load_stats = false;
+  std::uint64_t records_seen = 0;
+  std::uint64_t records_ok = 0;
+  std::uint64_t records_quarantined = 0;
+  bool checksum_ok = true;
+  std::vector<std::pair<std::string, std::uint64_t>> fault_fires;
+  std::vector<SpanStat> spans;
+  bool spans_golden = true;  ///< false under --timing wall (wall durations)
+  std::string metrics_json;  ///< raw Registry::json_text(), "" = none
+  std::string status = "ok";  ///< "ok" | "error"
+  std::string error_code;     ///< error_code_name(...) when status == "error"
+  int exit_code = 0;
+  std::string message;        ///< the error text when status == "error"
+  // -- context -------------------------------------------------------------
+  int jobs = 0;
+  std::string timing = "sim";
+  std::uint64_t flight_events = 0;
+  std::uint64_t flight_dropped = 0;
+
+  /// Deterministic pretty-printed JSON document (see header comment).
+  std::string to_json() const;
+
+  /// to_json() under a `#drbw-manifest v1` checksummed header, atomically.
+  void write(const std::string& path) const;
+};
+
+}  // namespace drbw::obs

@@ -1,0 +1,40 @@
+// drbw::obs sink primitives — the crash-safe file writer and checksummed
+// header shared by every artifact the process emits.
+//
+// These used to live in util/artifact, but the obs sinks themselves (trace
+// JSON, metrics expositions, flight dumps, run manifests) must never leave a
+// partial file behind, and obs sits *below* util in the link order.  The
+// primitives therefore live here; util/artifact re-exports them so existing
+// callers keep their spelling.
+//
+//   * crc32            — CRC-32 (IEEE 802.3, reflected 0xEDB88320).
+//   * atomic_write_file — write `<path>.tmp`, rename over the target; threads
+//     the "artifact.write" short-write fault site so the never-partial
+//     guarantee is provable under injected crashes.
+//   * format_artifact_header — the `#drbw-<kind> v<n> crc32=… bytes=…` line
+//     every versioned artifact starts with.
+//
+// Layering: obs depends only on the standard library, the header-only
+// util/error.hpp, and drbw::fault (which sits at the very bottom).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace drbw::obs {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// Atomically replaces `path` with `content` (write `<path>.tmp`, rename).
+/// Threads the "artifact.write" short-write fault site: when it fires, the
+/// temp file is left half-written, the rename never happens, and
+/// Error(kFaultInjected) is thrown — the target path is untouched.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+/// Renders the header line (no trailing newline) for `body`.
+std::string format_artifact_header(const std::string& kind, int version,
+                                   std::string_view body);
+
+}  // namespace drbw::obs

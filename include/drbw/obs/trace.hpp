@@ -142,8 +142,11 @@ class Trace {
 /// RAII pipeline-stage span.  Claims its sequence slot at construction; emits
 /// an 'X' event at destruction.  In kSim mode dur is the number of trace
 /// sequence points elapsed inside the span (deterministic); in kWall mode it
-/// is wall microseconds (non-golden).  Costs one relaxed load when tracing is
-/// off.
+/// is wall microseconds (non-golden).  Active when the trace sink *or* the
+/// flight recorder is enabled: completed spans also leave a "span"
+/// breadcrumb (at the span's start address, same dur) from which the run
+/// manifest derives its per-stage statistics.  Costs two relaxed loads when
+/// both sinks are off.
 class Span {
  public:
   explicit Span(const char* name);
@@ -156,6 +159,8 @@ class Span {
 
  private:
   bool active_ = false;
+  bool tracing_ = false;
+  bool flight_ = false;
   std::uint64_t start_seq_ = 0;
   std::uint64_t start_wall_us_ = 0;
   TraceEvent event_;

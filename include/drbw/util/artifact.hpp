@@ -18,6 +18,12 @@
 //
 // The writer threads the "artifact.write" fault-injection site so tests can
 // prove the never-partial guarantee even when a crash lands mid-write.
+//
+// The atomic-rename writer, crc32, and header formatter are implemented
+// below `obs` (drbw/obs/sink.hpp) so the observability sinks themselves —
+// trace JSON, metrics expositions, flight dumps, run manifests — share the
+// never-partial guarantee; the declarations here are thin forwards kept for
+// the historical util spelling.
 #pragma once
 
 #include <cstdint>

@@ -46,6 +46,11 @@ class ArgParser {
 
   std::string usage() const;
 
+  /// Every declared option with its resolved (parsed-or-default) value and
+  /// every flag as "true"/"false", sorted by name — the run manifest records
+  /// this as the run's effective configuration.
+  std::vector<std::pair<std::string, std::string>> resolved_options() const;
+
  private:
   struct Spec {
     std::string help;

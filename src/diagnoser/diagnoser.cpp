@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "drbw/fault/injector.hpp"
 #include "drbw/util/ascii_chart.hpp"
 #include "drbw/util/strings.hpp"
 
@@ -64,6 +65,17 @@ std::vector<ObjectContribution> contributions_in_channel(
 
 Diagnosis diagnose(const core::ProfileResult& profile,
                    const std::vector<topology::ChannelId>& contended) {
+  // Fault site "diagnose.cf": chaos coverage for the Contribution-Fraction
+  // stage.  Keyed by jobs-independent content (channel count and total
+  // attributed samples), so the decision is identical at any --jobs value.
+  std::uint64_t key = contended.size();
+  for (const core::ChannelProfile& cp : profile.channels) {
+    key += cp.samples.size();
+  }
+  fault::maybe_fail("diagnose.cf", key,
+                    "injected diagnoser failure while ranking Contribution "
+                    "Fractions over " +
+                        std::to_string(contended.size()) + " channel(s)");
   std::vector<const core::ChannelProfile*> channels;
   for (const topology::ChannelId want : contended) {
     bool found = false;

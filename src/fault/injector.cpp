@@ -172,14 +172,19 @@ bool Injector::should_inject(std::string_view site, Kind kind,
     if (s.kind != kind || s.site != site) continue;
     if (!fires(s.rate, draw(plan_.seed, site, kind, key))) return false;
     const std::string tally = std::string(site) + ":" + kind_token(kind);
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = std::lower_bound(
-        counts_.begin(), counts_.end(), tally,
-        [](const auto& row, const std::string& k) { return row.first < k; });
-    if (it != counts_.end() && it->first == tally) {
-      ++it->second;
-    } else {
-      counts_.insert(it, {tally, 1});
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = std::lower_bound(
+          counts_.begin(), counts_.end(), tally,
+          [](const auto& row, const std::string& k) { return row.first < k; });
+      if (it != counts_.end() && it->first == tally) {
+        ++it->second;
+      } else {
+        counts_.insert(it, {tally, 1});
+      }
+    }
+    if (const FireHook hook = fire_hook_.load(std::memory_order_relaxed)) {
+      hook(site, kind_token(kind), key);
     }
     return true;
   }

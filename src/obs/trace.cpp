@@ -1,10 +1,11 @@
 #include "drbw/obs/trace.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <map>
 #include <sstream>
 
+#include "drbw/obs/flight_recorder.hpp"
+#include "drbw/obs/sink.hpp"
 #include "internal.hpp"
 
 namespace drbw::obs {
@@ -157,14 +158,16 @@ std::string Trace::to_json() const {
 }
 
 void Trace::write_json(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error("cannot open trace output file: " + path);
-  out << to_json();
+  // Through the obs sink: a crash mid-write can never leave a partial trace
+  // at the target path.
+  atomic_write_file(path, to_json());
 }
 
 Span::Span(const char* name) {
   Trace& trace = Trace::instance();
-  if (!trace.enabled()) return;
+  tracing_ = trace.enabled();
+  flight_ = FlightRecorder::instance().enabled();
+  if (!tracing_ && !flight_) return;
   active_ = true;
   event_.name = name;
   event_.phase = 'X';
@@ -175,20 +178,30 @@ Span::Span(const char* name) {
   start_seq_ = scope.seq++;
   event_.seq = start_seq_;
   event_.ts = start_seq_;
-  if (trace.mode() == TimingMode::kWall) start_wall_us_ = wall_now_micros();
+  if (tracing_ && trace.mode() == TimingMode::kWall) {
+    start_wall_us_ = wall_now_micros();
+  }
 }
 
 Span::~Span() {
   if (!active_) return;
   Trace& trace = Trace::instance();
-  if (trace.mode() == TimingMode::kWall) {
+  if (tracing_ && trace.mode() == TimingMode::kWall) {
     event_.dur = wall_now_micros() - start_wall_us_;
   } else {
     // Deterministic "duration": trace sequence points elapsed inside the span.
     event_.dur = track_scope().seq - start_seq_;
   }
-  std::lock_guard<std::mutex> lock(trace.mutex_);
-  trace.events_.push_back(std::move(event_));
+  if (flight_) {
+    // Breadcrumb at the span's *start* address (no second slot claimed):
+    // span stats in the run manifest come from these.
+    FlightRecorder::instance().note_span(event_.name, event_.track, start_seq_,
+                                         event_.dur);
+  }
+  if (tracing_) {
+    std::lock_guard<std::mutex> lock(trace.mutex_);
+    trace.events_.push_back(std::move(event_));
+  }
 }
 
 void Span::arg(const char* key, double v) {

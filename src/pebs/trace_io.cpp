@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "drbw/fault/injector.hpp"
+#include "drbw/obs/flight_recorder.hpp"
 #include "drbw/obs/metrics.hpp"
 #include "drbw/util/csv.hpp"
 #include "drbw/util/strings.hpp"
@@ -229,6 +230,9 @@ Trace parse_records(const std::string& body, const std::string& source,
       }
       ++st.records_quarantined;
       metrics.records_quarantined.add(1);
+      // Post-mortem breadcrumb: which source line was quarantined.  Keyed by
+      // content (line number), so flight dumps stay jobs-independent.
+      obs::flight().note("quarantine", source, line_no);
     }
   }
   if (policy.lenient() && st.quarantined_fraction() > policy.max_bad_fraction) {

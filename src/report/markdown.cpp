@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "drbw/fault/injector.hpp"
 #include "drbw/util/artifact.hpp"
 #include "drbw/util/strings.hpp"
 
@@ -132,6 +133,10 @@ std::string robustness_markdown(const util::LoadStats& stats,
 }
 
 void write_file(const std::string& path, const std::string& markdown) {
+  // Fault site "report.render": chaos coverage for the very tail of the
+  // pipeline.  Keyed by the rendered content's size, jobs-independent.
+  fault::maybe_fail("report.render", markdown.size(),
+                    "injected report failure while rendering '" + path + "'");
   // Reports are artifacts too: route them through the atomic writer so a
   // crash mid-write never leaves a truncated report at the target path.
   util::atomic_write_file(path, markdown);

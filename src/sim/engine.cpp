@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "drbw/fault/injector.hpp"
+#include "drbw/obs/flight_recorder.hpp"
 #include "drbw/obs/trace.hpp"
 
 namespace drbw::sim {
@@ -353,6 +354,7 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
   // Hoisted: one relaxed load per run, not per epoch.  Channel arg keys for
   // the per-epoch counter event are built once, only when tracing.
   const bool tracing = obs::Trace::instance().enabled();
+  const bool flight = obs::flight().enabled();
   std::vector<std::string> channel_keys;
   if (tracing) {
     channel_keys.reserve(static_cast<std::size_t>(machine_.num_channels()));
@@ -414,6 +416,12 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
       fault::maybe_fail("engine.epoch", epochs_used,
                         "injected engine failure at epoch " +
                             std::to_string(epochs_used));
+      // Coarse epoch milestone for the flight recorder: cheap enough to
+      // leave on (one note per 1024 epochs), keyed by the serial epoch
+      // counter, so dumps are identical at any --jobs count.
+      if (flight && (epochs_used & 1023u) == 1u) {
+        obs::flight().note_at("epoch", phase.name, epochs_used, clock);
+      }
 
       // --- fixed point: rates <-> channel multipliers ---
       for (int round = 0; round < config_.fixed_point_rounds; ++round) {
@@ -548,6 +556,12 @@ RunResult Engine::run(const std::vector<SimThread>& threads,
     if (tracing) {
       obs::Trace::instance().complete("phase", phase_start, clock - phase_start,
                                       {}, {{"name", phase.name}});
+    }
+    if (flight) {
+      // Phase completion breadcrumb: sim-cycle timestamped, value = cycles
+      // spent, aggregated into the manifest's span stats as "phase:<name>".
+      obs::flight().note_at("phase", phase.name, clock - phase_start,
+                            phase_start);
     }
   }
 

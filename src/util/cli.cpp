@@ -1,5 +1,6 @@
 #include "drbw/util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -97,6 +98,20 @@ double ArgParser::option_double(const std::string& name) const {
     throw UsageError("option --" + name + " expects a number, got '" + raw + "'");
   }
   return v;
+}
+
+std::vector<std::pair<std::string, std::string>> ArgParser::resolved_options()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, spec] : specs_) {
+    if (spec.is_flag) {
+      out.emplace_back(name, flags_.at(name) ? "true" : "false");
+    } else {
+      out.emplace_back(name, values_.at(name));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::string ArgParser::usage() const {

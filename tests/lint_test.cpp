@@ -286,6 +286,50 @@ TEST(LintArtifactWriteTest, AllowEscapeNeedsReason) {
   EXPECT_TRUE(has_rule(findings, "allow-missing-reason"));
 }
 
+TEST(LintNakedDiagnosticTest, CerrBannedOutsideDiagnosticHomes) {
+  const std::string snippet = "std::cerr << \"load failed\\n\";\n";
+  EXPECT_TRUE(has_rule(check("src/pebs/trace_io.cpp", snippet),
+                       "no-naked-diagnostic"));
+  EXPECT_TRUE(has_rule(check("src/sim/engine.cpp", snippet),
+                       "no-naked-diagnostic"));
+  EXPECT_TRUE(has_rule(check("include/drbw/core/profiler.hpp",
+                             "#pragma once\n" + snippet),
+                       "no-naked-diagnostic"));
+  // The CLI front-end, the lint driver, the obs sinks, the error
+  // primitives, and self-reporting benches legitimately write stderr.
+  EXPECT_FALSE(has_rule(check("tools/drbw_cli.cpp", snippet),
+                        "no-naked-diagnostic"));
+  EXPECT_FALSE(has_rule(check("tools/lint/drbw_lint.cpp", snippet),
+                        "no-naked-diagnostic"));
+  EXPECT_FALSE(has_rule(check("src/obs/trace.cpp", snippet),
+                        "no-naked-diagnostic"));
+  EXPECT_FALSE(has_rule(check("include/drbw/util/error.hpp",
+                              "#pragma once\n" + snippet),
+                        "no-naked-diagnostic"));
+  EXPECT_FALSE(has_rule(check("bench/micro_executor.cpp", snippet),
+                        "no-naked-diagnostic"));
+  // Prose and string literals are not diagnostics.
+  EXPECT_FALSE(has_rule(check("src/sim/engine.cpp", "// std::cerr is banned\n"),
+                        "no-naked-diagnostic"));
+  EXPECT_FALSE(has_rule(
+      check("src/sim/engine.cpp", "const char* s = \"std::cerr\";\n"),
+      "no-naked-diagnostic"));
+}
+
+TEST(LintNakedDiagnosticTest, AllowEscapeWithReasonWorks) {
+  EXPECT_FALSE(has_rule(
+      check("src/sim/engine.cpp",
+            "// drbw-lint: allow(no-naked-diagnostic) best-effort warning "
+            "after the manifest is already written\n"
+            "std::cerr << \"warning\\n\";\n"),
+      "no-naked-diagnostic"));
+  const auto findings = check("src/sim/engine.cpp",
+                              "// drbw-lint: allow(no-naked-diagnostic)\n"
+                              "std::cerr << \"warning\\n\";\n");
+  EXPECT_TRUE(has_rule(findings, "no-naked-diagnostic"));
+  EXPECT_TRUE(has_rule(findings, "allow-missing-reason"));
+}
+
 TEST(LintRawAllocTest, CatchesNewDeleteMallocOutsideMem) {
   EXPECT_TRUE(has_rule(check("src/sim/engine.cpp", "int* p = new int[4];\n"),
                        "raw-alloc"));

@@ -26,29 +26,50 @@
 //       Render the per-epoch channel-utilization ASCII timeline from a trace
 //       produced with --trace-out.
 //
+//   drbw doctor   [run-dir]
+//       Post-mortem: load the run manifest (run.json) and flight dump
+//       (flight.log) a previous run left in run-dir and print a ranked
+//       diagnosis.  Diagnosing a failed run successfully exits 0.
+//
+//   drbw perf diff <before/run.json> <after/run.json> [--threshold F]
+//       Compare span statistics and metric counters between two run
+//       manifests; exits 3 when any quantity regressed past the threshold
+//       (default 0.25 = +25%), which CI uses as a perf gate.
+//
 // train/record/analyze additionally accept --trace-out FILE (Chrome
 // trace_event JSON), --metrics-out FILE (.json => JSON, else Prometheus
 // text), --timing sim|wall (wall-clock span durations; marks the trace
-// non-golden), and --inject-faults SPEC (deterministic fault injection,
-// grammar: seed=N,site:kind:rate,...).  analyze also accepts
-// --load-mode strict|lenient and --max-bad-fraction F (lenient loads
-// quarantine malformed trace records and escalate past the cap).
+// non-golden), --inject-faults SPEC (deterministic fault injection,
+// grammar: seed=N,site:kind:rate,...), and --run-dir DIR (where the run
+// manifest `run.json` and flight dump `flight.log` land; default ".").
+// analyze also accepts --load-mode strict|lenient and --max-bad-fraction F
+// (lenient loads quarantine malformed trace records and escalate past the
+// cap).
+//
+// Every train/record/analyze run leaves a provenance manifest behind, and on
+// any typed failure the flight recorder's last events are dumped next to it
+// before the process exits — `drbw doctor` turns the pair into a diagnosis.
 //
 // Exit codes: 0 success, 1 runtime error, 2 analyze found contention,
-// 64 malformed arguments, 65 unknown subcommand, 66 missing input file,
-// 67 parse error, 68 corrupt artifact, 69 artifact version skew,
-// 70 injected fault, 74 I/O error.
+// 3 perf diff found a regression, 64 malformed arguments, 65 unknown
+// subcommand, 66 missing input file, 67 parse error, 68 corrupt artifact,
+// 69 artifact version skew, 70 injected fault, 74 I/O error.
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <sstream>
 
 #include "drbw/drbw.hpp"
 #include "drbw/fault/injector.hpp"
+#include "drbw/obs/flight_recorder.hpp"
+#include "drbw/obs/manifest.hpp"
 #include "drbw/obs/trace.hpp"
 #include "drbw/pebs/trace_io.hpp"
-#include "drbw/util/artifact.hpp"
 #include "drbw/report/markdown.hpp"
+#include "drbw/report/postmortem.hpp"
+#include "drbw/util/artifact.hpp"
 #include "drbw/util/ascii_chart.hpp"
 #include "drbw/util/cli.hpp"
 #include "drbw/util/json.hpp"
@@ -64,11 +85,28 @@ namespace {
 
 constexpr int kExitUsage = 64;           // malformed arguments (EX_USAGE)
 constexpr int kExitUnknownCommand = 65;  // unrecognized subcommand
+constexpr int kExitPerfRegression = 3;   // perf diff crossed the threshold
 
-/// Shared --trace-out/--metrics-out/--timing plumbing for the subcommands
-/// that run the pipeline.  `begin` arms the trace sink before any work;
-/// `finish` writes the requested artifacts after it.
-struct ObsSinks {
+/// Flight-ring capacity for CLI runs.  Deliberately far above what any
+/// pipeline run emits, so the ring never wraps: a wrapped ring keeps the
+/// last N events by *arrival* order, which is scheduling-dependent, and the
+/// manifest's flight_dropped counter (asserted 0 in the determinism tests)
+/// would flag it.
+constexpr std::size_t kFlightCapacity = 65536;
+
+/// Provenance plumbing shared by the pipeline subcommands (train / record /
+/// analyze).  Owns what ObsSinks + FaultOptions used to: the
+/// --trace-out/--metrics-out/--timing sinks and the --inject-faults arming —
+/// plus the run manifest and flight recorder lifecycle:
+///
+///   begin()    arms trace/flight/fault sinks before any pipeline work
+///   stage(s)   leaves a "stage" breadcrumb in the flight ring
+///   finish(c)  writes sinks, then flight.log, then run.json *last* — a
+///              manifest on disk always describes a finished run
+///   fail(e)    records the outcome, disarms the injector (so the post-
+///              mortem writes cannot themselves be faulted), and best-effort
+///              dumps flight.log + run.json before returning the exit code
+struct RunSession {
   static void add_options(ArgParser& parser) {
     parser.add_option("trace-out",
                       "write a Chrome trace_event JSON trace here", "");
@@ -80,10 +118,29 @@ struct ObsSinks {
                       "sim | wall: span-duration clock for --trace-out "
                       "(wall marks the trace non-golden)",
                       "sim");
+    parser.add_option(
+        "inject-faults",
+        "deterministic fault spec: seed=N,site:kind:rate,... (sites: "
+        "pebs.sample, engine.epoch, trace.read, trace.write, model.write, "
+        "artifact.write, diagnose.cf, report.render; kinds: drop, corrupt, "
+        "truncate, malform, short-write, fail)",
+        "");
+    parser.add_option("run-dir",
+                      "directory for the run manifest (run.json) and flight "
+                      "dump (flight.log)",
+                      ".");
   }
 
-  static void begin(const ArgParser& parser) {
-    const std::string& timing = parser.option("timing");
+  RunSession(std::string subcommand, const ArgParser& parser)
+      : parser_(parser) {
+    manifest_.subcommand = std::move(subcommand);
+  }
+
+  /// Arms all sinks.  Must run after parse() and before any pipeline work;
+  /// malformed --timing/--inject-faults surface as usage errors (exit 64)
+  /// before anything is armed.
+  void begin() {
+    const std::string& timing = parser_.option("timing");
     obs::TimingMode mode;
     if (timing == "sim") {
       mode = obs::TimingMode::kSim;
@@ -92,56 +149,167 @@ struct ObsSinks {
     } else {
       throw UsageError("--timing expects sim or wall, got '" + timing + "'");
     }
-    if (!parser.option("trace-out").empty()) {
-      obs::Trace::instance().enable(mode);
+    const std::string& spec = parser_.option("inject-faults");
+    if (!spec.empty()) {
+      try {
+        fault::Plan plan = fault::Plan::parse(spec);
+        manifest_.fault_spec = plan.to_string();
+        fault::Injector::global().arm(std::move(plan));
+      } catch (const Error& e) {
+        throw UsageError(std::string("--inject-faults: ") + e.what());
+      }
+      if (!fault::kEnabled) {
+        std::cerr << "drbw: warning: built with -DDRBW_FAULT=OFF; "
+                     "--inject-faults is accepted but no fault can fire\n";
+      }
     }
+    run_dir_ = parser_.option("run-dir");
+    if (run_dir_.empty()) run_dir_ = ".";
+    std::error_code ec;
+    std::filesystem::create_directories(run_dir_, ec);  // best-effort
+
+    const bool tracing = !parser_.option("trace-out").empty();
+    if (tracing) obs::Trace::instance().enable(mode);
+    obs::FlightRecorder::instance().enable(kFlightCapacity);
+
+    manifest_.timing = timing;
+    // Span durations are golden (sim-cycle / seq based) unless the trace
+    // sink is in wall mode — then Span reports wall micros (see obs::Span).
+    manifest_.spans_golden = !(tracing && mode == obs::TimingMode::kWall);
+    manifest_.jobs = 1;
+    for (const auto& [name, value] : parser_.resolved_options()) {
+      if (name == "jobs") {
+        manifest_.jobs = static_cast<int>(parser_.option_int("jobs"));
+        continue;  // context, not golden — see obs/manifest.hpp
+      }
+      if (name == "run-dir") continue;  // the manifest's own location
+      manifest_.config.emplace_back(name, value);
+    }
+    begun_ = true;
   }
 
-  static void finish(const ArgParser& parser) {
-    const std::string& trace_out = parser.option("trace-out");
+  /// Stage-transition breadcrumb; `drbw doctor` reports the last one as the
+  /// failing stage.
+  void stage(const char* name) { obs::flight().note("stage", name); }
+
+  void note_input(const std::string& role, const std::string& path) {
+    manifest_.inputs.push_back(make_ref(role, path));
+  }
+  void note_output(const std::string& role, const std::string& path) {
+    manifest_.outputs.push_back(make_ref(role, path));
+  }
+
+  void set_load_stats(const util::LoadStats& stats) {
+    manifest_.has_load_stats = true;
+    manifest_.records_seen = stats.records_seen;
+    manifest_.records_ok = stats.records_ok;
+    manifest_.records_quarantined = stats.records_quarantined;
+    manifest_.checksum_ok = stats.checksum_ok;
+  }
+
+  /// Success path: trace/metrics sinks, then flight.log, then run.json.
+  int finish(int exit_code) {
+    const std::string& trace_out = parser_.option("trace-out");
     if (!trace_out.empty()) {
       obs::Trace::instance().write_json(trace_out);
       std::cout << "trace (" << obs::Trace::instance().event_count()
                 << " events) written to " << trace_out << '\n';
+      note_output("obs-trace-out", trace_out);
     }
-    const std::string& metrics_out = parser.option("metrics-out");
+    const std::string& metrics_out = parser_.option("metrics-out");
     if (!metrics_out.empty()) {
       util::atomic_write_file(metrics_out,
                               metrics_out.ends_with(".json")
                                   ? obs::Registry::global().json_text()
                                   : obs::Registry::global().prometheus_text());
       std::cout << "metrics written to " << metrics_out << '\n';
+      note_output("metrics-out", metrics_out);
     }
-  }
-};
-
-/// Shared --inject-faults plumbing.  `begin` arms the process-wide injector
-/// before any pipeline work; spec errors surface as usage errors (exit 64)
-/// like any other malformed flag value.
-struct FaultOptions {
-  static void add_options(ArgParser& parser) {
-    parser.add_option(
-        "inject-faults",
-        "deterministic fault spec: seed=N,site:kind:rate,... (sites: "
-        "pebs.sample, engine.epoch, trace.read, trace.write, model.write, "
-        "artifact.write; kinds: drop, corrupt, truncate, malform, "
-        "short-write, fail)",
-        "");
+    manifest_.status = "ok";
+    manifest_.exit_code = exit_code;
+    write_postmortem(/*best_effort=*/false);
+    std::cout << "run manifest written to " << manifest_path() << '\n';
+    return exit_code;
   }
 
-  static void begin(const ArgParser& parser) {
-    const std::string& spec = parser.option("inject-faults");
-    if (spec.empty()) return;
+  /// Failure path: record the outcome, disarm the injector, dump what we
+  /// can.  The exit code is exactly what the error would have produced had
+  /// it reached main()'s catch block.
+  int fail(const Error& e) {
+    std::cerr << "drbw: " << e.what() << '\n';
+    manifest_.status = "error";
+    manifest_.error_code = error_code_name(e.code());
+    manifest_.exit_code = exit_code_for(e.code());
+    manifest_.message = e.what();
+    write_postmortem(/*best_effort=*/true);
+    return manifest_.exit_code;
+  }
+
+ private:
+  std::string manifest_path() const {
+    return run_dir_ + "/" + obs::kManifestFileName;
+  }
+
+  /// Content-identifies an artifact: its own `#drbw-*` header when it has a
+  /// checksummed one, a whole-file crc otherwise.  Never throws — an
+  /// unreadable path is itself provenance worth recording.
+  static obs::ArtifactRef make_ref(const std::string& role,
+                                   const std::string& path) {
+    obs::ArtifactRef ref;
+    ref.role = role;
+    ref.path = path;
     try {
-      fault::Injector::global().arm(fault::Plan::parse(spec));
-    } catch (const Error& e) {
-      throw UsageError(std::string("--inject-faults: ") + e.what());
+      const std::string content = util::read_file_or_throw(path, role);
+      const auto header =
+          util::parse_artifact_header(content.substr(0, content.find('\n')));
+      if (header.has_value() && header->has_checksum) {
+        ref.kind = header->kind;
+        ref.version = header->version;
+        ref.crc = header->crc;
+        ref.bytes = header->bytes;
+      } else {
+        ref.kind = "raw";
+        ref.crc = util::crc32(content);
+        ref.bytes = content.size();
+      }
+    } catch (const Error&) {
+      ref.kind = "unreadable";
     }
-    if (!fault::kEnabled) {
-      std::cerr << "drbw: warning: built with -DDRBW_FAULT=OFF; "
-                   "--inject-faults is accepted but no fault can fire\n";
-    }
+    return ref;
   }
+
+  void write_postmortem(bool best_effort) {
+    if (!begun_) return;
+    // Tally fires *before* disarming; disarm so the post-mortem writes
+    // below cannot be faulted into recursion (artifact.write is a site).
+    manifest_.fault_fires = fault::Injector::global().fire_counts();
+    fault::Injector::global().disarm();
+    auto& flight = obs::FlightRecorder::instance();
+    manifest_.spans = flight.span_stats();
+    manifest_.flight_events = flight.event_count();
+    manifest_.flight_dropped = flight.dropped();
+    manifest_.metrics_json = obs::Registry::global().json_text();
+    const auto write_one = [&](const char* what, const auto& fn) {
+      try {
+        fn();
+      } catch (const std::exception& e) {
+        if (!best_effort) throw;
+        std::cerr << "drbw: warning: could not write " << what << ": "
+                  << e.what() << '\n';
+      }
+    };
+    if (flight.enabled()) {
+      write_one("flight dump", [&] {
+        flight.write(run_dir_ + "/" + obs::kFlightFileName);
+      });
+    }
+    write_one("run manifest", [&] { manifest_.write(manifest_path()); });
+  }
+
+  const ArgParser& parser_;
+  obs::RunManifest manifest_;
+  std::string run_dir_ = ".";
+  bool begun_ = false;
 };
 
 topology::Machine machine_by_name(const std::string& name) {
@@ -177,23 +345,30 @@ int cmd_train(int argc, char** argv) {
                     "parallel mini-program runs (0 = one per hardware "
                     "thread); the trained model is identical at any value",
                     "0");
-  ObsSinks::add_options(parser);
-  FaultOptions::add_options(parser);
+  RunSession::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
-  ObsSinks::begin(parser);
-  FaultOptions::begin(parser);
-  const auto machine = machine_by_name(parser.option("machine"));
-  DRBW_CHECK_MSG(parser.option("machine") == "xeon",
-                 "the Table II generator targets the Xeon's Tt-Nn grid");
-  const auto model = workloads::train_default_classifier(
-      machine, static_cast<std::uint64_t>(parser.option_int("seed")),
-      static_cast<int>(parser.option_int("jobs")));
-  model.save(parser.option("out"));
-  std::cout << "trained on 192 mini-program runs; model written to "
-            << parser.option("out") << "\n\n"
-            << model.describe();
-  ObsSinks::finish(parser);
-  return 0;
+  RunSession session("train", parser);
+  session.begin();
+  try {
+    session.stage("train");
+    const auto machine = machine_by_name(parser.option("machine"));
+    DRBW_CHECK_MSG(parser.option("machine") == "xeon",
+                   "the Table II generator targets the Xeon's Tt-Nn grid");
+    const auto model = workloads::train_default_classifier(
+        machine, static_cast<std::uint64_t>(parser.option_int("seed")),
+        static_cast<int>(parser.option_int("jobs")));
+    session.stage("persist");
+    model.save(parser.option("out"));
+    session.note_output("model-out", parser.option("out"));
+    std::cout << "trained on 192 mini-program runs; model written to "
+              << parser.option("out") << "\n\n"
+              << model.describe();
+    return session.finish(0);
+  } catch (const Error& e) {
+    return session.fail(e);
+  } catch (const std::exception& e) {
+    return session.fail(Error(e.what()));
+  }
 }
 
 int cmd_record(int argc, char** argv) {
@@ -204,30 +379,38 @@ int cmd_record(int argc, char** argv) {
   parser.add_option("placement", "placement mode", "original");
   parser.add_option("out", "trace output path", "drbw_trace.csv");
   parser.add_option("seed", "run seed", "7");
-  ObsSinks::add_options(parser);
-  FaultOptions::add_options(parser);
+  RunSession::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
-  ObsSinks::begin(parser);
-  FaultOptions::begin(parser);
+  RunSession session("record", parser);
+  session.begin();
+  try {
+    session.stage("build");
+    const auto machine = topology::Machine::xeon_e5_4650();
+    const auto bench =
+        workloads::make_suite_benchmark(parser.option("benchmark"));
+    mem::AddressSpace space(machine);
+    sim::EngineConfig engine;
+    engine.seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+    const auto built = bench->build(
+        space, machine, parse_config(parser.option("config")),
+        parse_placement(parser.option("placement")),
+        static_cast<std::size_t>(parser.option_int("input")));
+    session.stage("execute");
+    const auto run = workloads::execute(machine, space, built, engine);
 
-  const auto machine = topology::Machine::xeon_e5_4650();
-  const auto bench = workloads::make_suite_benchmark(parser.option("benchmark"));
-  mem::AddressSpace space(machine);
-  sim::EngineConfig engine;
-  engine.seed = static_cast<std::uint64_t>(parser.option_int("seed"));
-  const auto built = bench->build(
-      space, machine, parse_config(parser.option("config")),
-      parse_placement(parser.option("placement")),
-      static_cast<std::size_t>(parser.option_int("input")));
-  const auto run = workloads::execute(machine, space, built, engine);
-
-  pebs::save_trace(parser.option("out"), {run.alloc_events, run.samples});
-  std::cout << "recorded " << run.samples.size() << " samples over "
-            << format_count(run.total_accesses) << " accesses ("
-            << format_fixed(run.seconds(machine) * 1e3, 2)
-            << " ms simulated) -> " << parser.option("out") << '\n';
-  ObsSinks::finish(parser);
-  return 0;
+    session.stage("persist");
+    pebs::save_trace(parser.option("out"), {run.alloc_events, run.samples});
+    session.note_output("trace-out", parser.option("out"));
+    std::cout << "recorded " << run.samples.size() << " samples over "
+              << format_count(run.total_accesses) << " accesses ("
+              << format_fixed(run.seconds(machine) * 1e3, 2)
+              << " ms simulated) -> " << parser.option("out") << '\n';
+    return session.finish(0);
+  } catch (const Error& e) {
+    return session.fail(e);
+  } catch (const std::exception& e) {
+    return session.fail(Error(e.what()));
+  }
 }
 
 /// Page locator for offline analysis: reconstructs a plausible layout from
@@ -272,88 +455,108 @@ int cmd_analyze(int argc, char** argv) {
                     "lenient only: tolerated quarantined/seen record "
                     "fraction before the load fails as corrupt",
                     "0.25");
-  ObsSinks::add_options(parser);
-  FaultOptions::add_options(parser);
+  RunSession::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
-  ObsSinks::begin(parser);
-  FaultOptions::begin(parser);
-
-  util::LoadPolicy policy;
+  RunSession session("analyze", parser);
+  session.begin();
   try {
-    policy = util::load_policy_from_name(
-        parser.option("load-mode"), parser.option_double("max-bad-fraction"));
-  } catch (const Error& e) {
-    throw UsageError(std::string("--load-mode: ") + e.what());
-  }
-  // Fail fast on missing inputs (exit 66 with a sibling hint) before any
-  // model training or trace parsing happens.
-  util::require_input_file(parser.option("trace"), "trace file");
-  if (!parser.option("model").empty()) {
-    util::require_input_file(parser.option("model"), "model file");
-  }
-
-  const auto machine = topology::Machine::xeon_e5_4650();
-  util::LoadStats load_stats;
-  const auto trace =
-      pebs::load_trace(parser.option("trace"), policy, &load_stats);
-  std::cout << "loaded " << trace.samples.size() << " samples, "
-            << trace.events.size() << " allocation events";
-  if (load_stats.records_quarantined > 0 || !load_stats.checksum_ok) {
-    std::cout << " (" << load_stats.records_quarantined << " of "
-              << load_stats.records_seen << " records quarantined"
-              << (load_stats.checksum_ok ? "" : ", checksum FAILED") << ")";
-  }
-  std::cout << '\n';
-
-  const ml::Classifier model =
-      parser.option("model").empty()
-          ? workloads::train_default_classifier(machine)
-          : ml::Classifier::load(parser.option("model"), policy);
-  const DrBw tool(machine, model);
-
-  TraceLocator locator(trace.events);
-  core::Profiler profiler(machine, locator);
-
-  const auto windows = parser.option_int("windows");
-  if (windows <= 1) {
-    const Report report =
-        tool.analyze_profile(profiler.profile(trace.events, trace.samples));
-    std::cout << report.to_string(machine);
-    if (!parser.option("report").empty()) {
-      report::ReportMeta meta;
-      meta.workload = parser.option("trace");
-      report::write_file(
-          parser.option("report"),
-          report::to_markdown(report, machine, meta) +
-              report::robustness_markdown(load_stats, parser.option("trace"),
-                                          parser.option("load-mode")) +
-              report::telemetry_markdown(obs::Registry::global()));
-      std::cout << "report written to " << parser.option("report") << '\n';
+    session.stage("load");
+    util::LoadPolicy policy;
+    try {
+      policy = util::load_policy_from_name(
+          parser.option("load-mode"), parser.option_double("max-bad-fraction"));
+    } catch (const Error& e) {
+      throw UsageError(std::string("--load-mode: ") + e.what());
     }
-    ObsSinks::finish(parser);
-    return report.rmc ? 2 : 0;  // exit code signals the verdict
-  }
+    // Fail fast on missing inputs (exit 66 with a sibling hint) before any
+    // model training or trace parsing happens.
+    util::require_input_file(parser.option("trace"), "trace file");
+    if (!parser.option("model").empty()) {
+      util::require_input_file(parser.option("model"), "model file");
+    }
+    session.note_input("trace-in", parser.option("trace"));
 
-  // Windowed: derive the span from the sample timestamps.
-  std::uint64_t last_cycle = 0;
-  for (const auto& s : trace.samples) last_cycle = std::max(last_cycle, s.cycle);
-  const std::uint64_t window =
-      std::max<std::uint64_t>(1, last_cycle / static_cast<std::uint64_t>(windows) + 1);
-  sim::RunResult pseudo;
-  pseudo.total_cycles = last_cycle + 1;
-  pseudo.samples = trace.samples;
-  pseudo.alloc_events = trace.events;
-  bool any = false;
-  for (const auto& v : tool.analyze_windows(pseudo, locator, window)) {
-    std::cout << "[" << v.start_cycle << ", " << v.end_cycle << ") "
-              << v.samples << " samples: "
-              << (v.rmc ? "RMC" : "good");
-    for (const auto& ch : v.contended) std::cout << ' ' << machine.channel_name(ch);
+    const auto machine = topology::Machine::xeon_e5_4650();
+    // load_trace fills the stats incrementally, so record them in the
+    // manifest even when the load escalates — the quarantine tally at the
+    // moment of failure is exactly what `drbw doctor` needs.
+    util::LoadStats load_stats;
+    pebs::Trace trace;
+    try {
+      trace = pebs::load_trace(parser.option("trace"), policy, &load_stats);
+    } catch (...) {
+      session.set_load_stats(load_stats);
+      throw;
+    }
+    session.set_load_stats(load_stats);
+    std::cout << "loaded " << trace.samples.size() << " samples, "
+              << trace.events.size() << " allocation events";
+    if (load_stats.records_quarantined > 0 || !load_stats.checksum_ok) {
+      std::cout << " (" << load_stats.records_quarantined << " of "
+                << load_stats.records_seen << " records quarantined"
+                << (load_stats.checksum_ok ? "" : ", checksum FAILED") << ")";
+    }
     std::cout << '\n';
-    any |= v.rmc;
+
+    session.stage("classify");
+    const ml::Classifier model =
+        parser.option("model").empty()
+            ? workloads::train_default_classifier(machine)
+            : ml::Classifier::load(parser.option("model"), policy);
+    if (!parser.option("model").empty()) {
+      session.note_input("model-in", parser.option("model"));
+    }
+    const DrBw tool(machine, model);
+
+    TraceLocator locator(trace.events);
+    core::Profiler profiler(machine, locator);
+
+    const auto windows = parser.option_int("windows");
+    if (windows <= 1) {
+      const Report report =
+          tool.analyze_profile(profiler.profile(trace.events, trace.samples));
+      std::cout << report.to_string(machine);
+      if (!parser.option("report").empty()) {
+        session.stage("report");
+        report::ReportMeta meta;
+        meta.workload = parser.option("trace");
+        report::write_file(
+            parser.option("report"),
+            report::to_markdown(report, machine, meta) +
+                report::robustness_markdown(load_stats, parser.option("trace"),
+                                            parser.option("load-mode")) +
+                report::telemetry_markdown(obs::Registry::global()));
+        session.note_output("report-out", parser.option("report"));
+        std::cout << "report written to " << parser.option("report") << '\n';
+      }
+      return session.finish(report.rmc ? 2 : 0);  // exit signals the verdict
+    }
+
+    // Windowed: derive the span from the sample timestamps.
+    session.stage("windows");
+    std::uint64_t last_cycle = 0;
+    for (const auto& s : trace.samples) last_cycle = std::max(last_cycle, s.cycle);
+    const std::uint64_t window =
+        std::max<std::uint64_t>(1, last_cycle / static_cast<std::uint64_t>(windows) + 1);
+    sim::RunResult pseudo;
+    pseudo.total_cycles = last_cycle + 1;
+    pseudo.samples = trace.samples;
+    pseudo.alloc_events = trace.events;
+    bool any = false;
+    for (const auto& v : tool.analyze_windows(pseudo, locator, window)) {
+      std::cout << "[" << v.start_cycle << ", " << v.end_cycle << ") "
+                << v.samples << " samples: "
+                << (v.rmc ? "RMC" : "good");
+      for (const auto& ch : v.contended) std::cout << ' ' << machine.channel_name(ch);
+      std::cout << '\n';
+      any |= v.rmc;
+    }
+    return session.finish(any ? 2 : 0);
+  } catch (const Error& e) {
+    return session.fail(e);
+  } catch (const std::exception& e) {
+    return session.fail(Error(e.what()));
   }
-  ObsSinks::finish(parser);
-  return any ? 2 : 0;
 }
 
 const Json* find_member(const JsonObject& object, const std::string& key) {
@@ -472,11 +675,93 @@ int cmd_topology(int argc, char** argv) {
   return 0;
 }
 
+// doctor and perf diff take positional arguments, which ArgParser rejects by
+// design; both are small enough to hand-parse.
+
+int cmd_doctor(int argc, char** argv) {
+  const char* usage =
+      "drbw doctor [run-dir] — diagnose a previous run from its manifest\n"
+      "\n"
+      "Loads <run-dir>/run.json (and flight.log when present; default\n"
+      "run-dir is '.') and prints ranked root-cause findings.  Exits 0 when\n"
+      "the diagnosis succeeds — including for runs that themselves failed.\n";
+  std::string run_dir = ".";
+  bool have_dir = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage;
+      return 0;
+    }
+    if (starts_with(arg, "--")) {
+      throw UsageError("drbw doctor: unknown option '" + arg + "'");
+    }
+    if (have_dir) {
+      throw UsageError("drbw doctor expects at most one run directory");
+    }
+    run_dir = arg;
+    have_dir = true;
+  }
+  std::cout << report::render_doctor(report::doctor(run_dir));
+  return 0;
+}
+
+int cmd_perf_diff(int argc, char** argv) {
+  const char* usage =
+      "drbw perf diff <before/run.json> <after/run.json> [--threshold F]\n"
+      "\n"
+      "Compares span statistics and metric counters between two run\n"
+      "manifests.  Exits 3 when any quantity grew past before*(1+F)\n"
+      "(default F = 0.25); CI uses this as a perf gate.\n";
+  std::vector<std::string> manifests;
+  double threshold = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage;
+      return 0;
+    }
+    if (arg == "--threshold" || starts_with(arg, "--threshold=")) {
+      std::string raw;
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        raw = arg.substr(eq + 1);
+      } else {
+        if (i + 1 >= argc) {
+          throw UsageError("drbw perf diff: --threshold expects a value");
+        }
+        raw = argv[++i];
+      }
+      char* end = nullptr;
+      threshold = std::strtod(raw.c_str(), &end);
+      if (end == nullptr || *end != '\0' || raw.empty() || threshold < 0.0) {
+        throw UsageError(
+            "drbw perf diff: --threshold expects a non-negative number, "
+            "got '" + raw + "'");
+      }
+      continue;
+    }
+    if (starts_with(arg, "--")) {
+      throw UsageError("drbw perf diff: unknown option '" + arg + "'");
+    }
+    manifests.push_back(arg);
+  }
+  if (manifests.size() != 2) {
+    throw UsageError("drbw perf diff expects exactly two run manifests");
+  }
+  const report::ManifestData before = report::load_manifest(manifests[0]);
+  const report::ManifestData after = report::load_manifest(manifests[1]);
+  const report::PerfDiff diff = report::perf_diff(before, after, threshold);
+  std::cout << report::render_perf_diff(diff);
+  return diff.regressed ? kExitPerfRegression : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: drbw <train|record|analyze|inspect|topology|stats> [options]\n"
+      "usage: drbw <train|record|analyze|inspect|topology|stats|doctor> "
+      "[options]\n"
+      "       drbw perf diff <before/run.json> <after/run.json>\n"
       "       drbw <subcommand> --help for details\n";
   if (argc < 2) {
     std::cout << usage;
@@ -490,6 +775,14 @@ int main(int argc, char** argv) {
     if (sub == "inspect") return cmd_inspect(argc - 1, argv + 1);
     if (sub == "topology") return cmd_topology(argc - 1, argv + 1);
     if (sub == "stats") return cmd_stats(argc - 1, argv + 1);
+    if (sub == "doctor") return cmd_doctor(argc - 1, argv + 1);
+    if (sub == "perf") {
+      if (argc < 3 || std::string(argv[2]) != "diff") {
+        std::cerr << "drbw perf: the only verb is 'diff'\n" << usage;
+        return kExitUsage;
+      }
+      return cmd_perf_diff(argc - 2, argv + 2);
+    }
     std::cerr << "unknown subcommand '" << sub << "'\n" << usage;
     return kExitUnknownCommand;
   } catch (const Error& e) {

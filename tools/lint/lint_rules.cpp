@@ -46,6 +46,8 @@ FileInfo classify(std::string_view path) {
   info.is_artifact_home = contains(p, "util/artifact");
   info.is_obs_wall_home = contains(p, "src/obs/");
   info.is_bench = contains(p, "bench/") || starts_with(p, "bench");
+  info.is_diag_home = contains(p, "src/obs/") || contains(p, "tools/") ||
+                      starts_with(p, "tools") || contains(p, "util/error");
   for (const auto mark : kEmitterMarks) {
     if (contains(p, mark)) {
       info.is_emitter = true;
@@ -355,6 +357,19 @@ class Checker {
                "through util::atomic_write_file or "
                "util::write_versioned_artifact so partial files cannot "
                "appear at the final path (or justify with an allow comment)");
+      }
+      // Ad-hoc stderr chatter bypasses the provenance layer: a diagnostic
+      // printed with std::cerr never reaches the run manifest or the flight
+      // recorder, so `drbw doctor` cannot see it.  Failures in library code
+      // must flow through drbw::Error (the CLI front-end records it); only
+      // the obs sinks, the tools' top-level drivers, the error primitives,
+      // and self-reporting benches write stderr directly.
+      if (t.text == "cerr" && !info_.is_diag_home && !info_.is_bench) {
+        report(t.line, "no-naked-diagnostic",
+               "std::cerr outside src/obs/, tools/, and util/error: throw "
+               "drbw::Error or leave a flight-recorder breadcrumb so the run "
+               "manifest and `drbw doctor` capture the diagnostic (or "
+               "justify with an allow comment)");
       }
       if (t.text == "using" && k + 1 < tokens.size() &&
           tokens[k + 1].text == "namespace" && info_.is_header) {

@@ -42,6 +42,7 @@ struct FileInfo {
   bool is_artifact_home = false;  // util/artifact.*: owns the atomic-write path
   bool is_obs_wall_home = false;  // src/obs/: the one wall-clock shim lives here
   bool is_bench = false;          // bench/: chrono self-timing is its job
+  bool is_diag_home = false;      // src/obs/, tools/, util/error: stderr OK
 };
 
 /// Classifies `path` (any separator style; matched on '/'-normalized form).
