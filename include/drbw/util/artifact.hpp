@@ -120,6 +120,12 @@ void write_versioned_artifact(const std::string& path, const std::string& kind,
                               int version, std::string_view body,
                               const std::string& fault_site = "");
 
+/// File name of shard `index` of a `count`-shard set whose index artifact
+/// lives at `path`: "<path>.shard-007-of-016" (both numbers zero-padded to
+/// three digits so shard listings sort in shard order).
+std::string shard_file_name(const std::string& path, std::size_t index,
+                            std::size_t count);
+
 /// A loaded versioned artifact: the parsed header (when present) and the
 /// body text after the header line.
 struct VersionedArtifact {
@@ -130,7 +136,8 @@ struct VersionedArtifact {
 
 /// Reads and validates a versioned artifact:
 ///   * header kind mismatch → Error(kParse),
-///   * header version > max_version → Error(kVersionSkew),
+///   * header version > max_version → Error(kVersionSkew) naming the
+///     offending header token ("v3"),
 ///   * checksum mismatch → strict: Error(kCorruptArtifact); lenient:
 ///     stats->checksum_ok = false and the load continues (per-record
 ///     validation catches the damage),
@@ -141,5 +148,17 @@ VersionedArtifact read_versioned_artifact(const std::string& path,
                                           int max_version,
                                           const LoadPolicy& policy,
                                           LoadStats* stats = nullptr);
+
+/// Validation core of read_versioned_artifact for content already in
+/// memory: `source` names the origin in errors, `content` is consumed.
+/// Callers that must sniff the header kind before choosing a validation
+/// path (e.g. the trace loader dispatching single-file vs shard-index) use
+/// this to avoid reading large artifacts twice.
+VersionedArtifact validate_versioned_content(const std::string& source,
+                                             std::string&& content,
+                                             const std::string& kind,
+                                             int max_version,
+                                             const LoadPolicy& policy,
+                                             LoadStats* stats = nullptr);
 
 }  // namespace drbw::util

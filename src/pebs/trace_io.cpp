@@ -1,26 +1,49 @@
 #include "drbw/pebs/trace_io.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <map>
 #include <sstream>
+#include <string_view>
+#include <utility>
 
 #include "drbw/fault/injector.hpp"
 #include "drbw/obs/flight_recorder.hpp"
 #include "drbw/obs/metrics.hpp"
+#include "drbw/obs/trace.hpp"
 #include "drbw/util/csv.hpp"
 #include "drbw/util/strings.hpp"
+#include "drbw/util/task_pool.hpp"
 
 namespace drbw::pebs {
 
 namespace {
 
 constexpr const char* kArtifactKind = "trace";
+constexpr const char* kIndexKind = "trace-index";
 
-/// Loader-side instruments.  The load path is serial and keys every
-/// decision off record content / line numbers, so these counts are
-/// byte-identical at any --jobs value (golden visibility).
+// Binary (v3) body geometry.  All integers are little-endian regardless of
+// host byte order; the encoder/decoder below shift bytes explicitly.
+constexpr std::uint32_t kBinaryMagic = 0x57425244u;  // "DRBW" read as LE u32
+constexpr std::size_t kBinaryPreludeBytes = 32;
+constexpr std::size_t kBinaryEventBytes = 25;
+constexpr std::size_t kBinarySampleBytes = 30;
+constexpr std::uint8_t kMaxLevelByte =
+    static_cast<std::uint8_t>(MemLevel::kRemoteDram);
+
+/// Loader-side instruments.  Every count below keys off record content /
+/// ordinals (never scheduling), so the totals are byte-identical at any
+/// --jobs value (golden visibility).
 struct TraceMetrics {
   obs::Counter& records_seen;
   obs::Counter& records_quarantined;
   obs::Counter& checksum_failures;
+  obs::Counter& bytes_loaded;
+  obs::Counter& shards_loaded;
 
   static TraceMetrics& get() {
     auto& reg = obs::Registry::global();
@@ -31,10 +54,20 @@ struct TraceMetrics {
                     "Malformed trace records quarantined by lenient loads"),
         reg.counter("drbw_trace_checksum_failures_total",
                     "Trace artifact bodies whose crc32 failed validation"),
+        reg.counter("drbw_trace_bytes_loaded_total",
+                    "Trace artifact body bytes parsed by the loader"),
+        reg.counter("drbw_trace_shards_loaded_total",
+                    "Trace shards parsed out of sharded sets"),
     };
     return m;
   }
 };
+
+std::string hex8(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return std::string(buf);
+}
 
 }  // namespace
 
@@ -61,10 +94,24 @@ MemLevel level_from_token(const std::string& token) {
               ErrorCode::kParse);
 }
 
+const char* trace_format_name(TraceFormat format) {
+  return format == TraceFormat::kBinary ? "binary" : "csv";
+}
+
+TraceFormat trace_format_from_name(const std::string& name) {
+  if (name == "csv") return TraceFormat::kCsv;
+  if (name == "binary") return TraceFormat::kBinary;
+  throw Error("trace format must be csv or binary, got '" + name + "'",
+              ErrorCode::kUsage);
+}
+
 namespace {
 
-void render_records(std::ostream& os, const Trace& trace) {
-  for (const mem::AllocationEvent& e : trace.events) {
+void render_csv(std::ostream& os, const mem::AllocationEvent* events,
+                std::size_t event_count, const MemorySample* samples,
+                std::size_t sample_count) {
+  for (std::size_t i = 0; i < event_count; ++i) {
+    const mem::AllocationEvent& e = events[i];
     if (e.kind == mem::AllocationEvent::Kind::kAlloc) {
       os << "A," << CsvWriter::escape(e.site.label) << ',' << e.base
          << ',' << e.size_bytes << '\n';
@@ -72,25 +119,145 @@ void render_records(std::ostream& os, const Trace& trace) {
       os << "F," << e.base << '\n';
     }
   }
-  for (const MemorySample& s : trace.samples) {
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const MemorySample& s = samples[i];
     os << "S," << s.address << ',' << s.cpu << ',' << s.tid << ','
        << level_token(s.level) << ',' << s.latency_cycles << ','
        << (s.is_write ? 1 : 0) << ',' << s.cycle << '\n';
   }
 }
 
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xffu));
+  out.push_back(static_cast<char>((v >> 8) & 0xffu));
+  out.push_back(static_cast<char>((v >> 16) & 0xffu));
+  out.push_back(static_cast<char>((v >> 24) & 0xffu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof bits);
+  return bits;
+}
+
+float bits_float(std::uint32_t bits) {
+  float f = 0.0f;
+  std::memcpy(&f, &bits, sizeof f);
+  return f;
+}
+
+/// Renders the v3 binary body (see the layout in trace_io.hpp).  Labels are
+/// deduplicated into one blob; events reference them by (offset, length).
+std::string render_binary(const mem::AllocationEvent* events,
+                          std::size_t event_count, const MemorySample* samples,
+                          std::size_t sample_count) {
+  std::string labels;
+  std::map<std::string_view, std::pair<std::uint32_t, std::uint32_t>> interned;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> refs(event_count);
+  for (std::size_t i = 0; i < event_count; ++i) {
+    const std::string& label = events[i].site.label;
+    const auto it = interned.find(label);
+    if (it != interned.end()) {
+      refs[i] = it->second;
+      continue;
+    }
+    const auto ref = std::make_pair(static_cast<std::uint32_t>(labels.size()),
+                                    static_cast<std::uint32_t>(label.size()));
+    labels += label;
+    interned.emplace(label, ref);
+    refs[i] = ref;
+  }
+  std::string out;
+  out.reserve(kBinaryPreludeBytes + labels.size() +
+              event_count * kBinaryEventBytes +
+              sample_count * kBinarySampleBytes);
+  put_u32(out, kBinaryMagic);
+  put_u32(out, 0);  // flags, reserved
+  put_u64(out, event_count);
+  put_u64(out, sample_count);
+  put_u64(out, labels.size());
+  out += labels;
+  for (std::size_t i = 0; i < event_count; ++i) {
+    const mem::AllocationEvent& e = events[i];
+    out.push_back(static_cast<char>(e.kind));
+    put_u32(out, refs[i].first);
+    put_u32(out, refs[i].second);
+    put_u64(out, e.base);
+    put_u64(out, e.size_bytes);
+  }
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const MemorySample& s = samples[i];
+    put_u64(out, s.address);
+    put_u64(out, s.cycle);
+    put_u32(out, static_cast<std::uint32_t>(s.cpu));
+    put_u32(out, s.tid);
+    put_u32(out, float_bits(s.latency_cycles));
+    out.push_back(static_cast<char>(s.level));
+    out.push_back(static_cast<char>(s.is_write ? 1 : 0));
+  }
+  return out;
+}
+
+std::string render_body(TraceFormat format, const mem::AllocationEvent* events,
+                        std::size_t event_count, const MemorySample* samples,
+                        std::size_t sample_count) {
+  if (format == TraceFormat::kBinary) {
+    return render_binary(events, event_count, samples, sample_count);
+  }
+  std::ostringstream os;
+  render_csv(os, events, event_count, samples, sample_count);
+  return os.str();
+}
+
+/// Escalates a lenient load once the quarantined fraction clears the policy
+/// cap.  Shared by the CSV parser, the binary parser, and the post-merge
+/// check of sharded loads (shards parse under an uncapped policy so the cap
+/// applies exactly once, to the merged totals).
+void enforce_quarantine_cap(const std::string& source,
+                            const util::LoadPolicy& policy,
+                            const util::LoadStats& st) {
+  if (!policy.lenient() ||
+      st.quarantined_fraction() <= policy.max_bad_fraction) {
+    return;
+  }
+  std::ostringstream os;
+  os << source << ": " << st.records_quarantined << " of " << st.records_seen
+     << " records are malformed, above the tolerated fraction "
+     << policy.max_bad_fraction << " — artifact too damaged to trust";
+  throw Error(os.str(), ErrorCode::kCorruptArtifact);
+}
+
 }  // namespace
 
 void write_trace(std::ostream& os, const Trace& trace) {
   os << "#drbw-trace v1" << '\n';
-  render_records(os, trace);
+  render_csv(os, trace.events.data(), trace.events.size(),
+             trace.samples.data(), trace.samples.size());
 }
 
 void save_trace(const std::string& path, const Trace& trace) {
-  std::ostringstream body;
-  render_records(body, trace);
-  util::write_versioned_artifact(path, kArtifactKind, kTraceVersion,
-                                 body.str(), "trace.write");
+  util::write_versioned_artifact(
+      path, kArtifactKind, kTraceCsvVersion,
+      render_body(TraceFormat::kCsv, trace.events.data(), trace.events.size(),
+                  trace.samples.data(), trace.samples.size()),
+      "trace.write");
 }
 
 namespace {
@@ -193,9 +360,9 @@ void parse_record(const std::string& line, Trace& trace) {
   }
 }
 
-/// Parses the record lines of `body` under `policy`.  `source` names the
-/// origin (file path or "<stream>") in every error; `first_line_no` is the
-/// 1-based line number of the first body line in the original file, so
+/// Parses the record lines of a CSV `body` under `policy`.  `source` names
+/// the origin (file path or "<stream>") in every error; `first_line_no` is
+/// the 1-based line number of the first body line in the original file, so
 /// messages point at real file lines even though the header was stripped.
 Trace parse_records(const std::string& body, const std::string& source,
                     std::size_t first_line_no, const util::LoadPolicy& policy,
@@ -235,17 +402,497 @@ Trace parse_records(const std::string& body, const std::string& source,
       obs::flight().note("quarantine", source, line_no);
     }
   }
-  if (policy.lenient() && st.quarantined_fraction() > policy.max_bad_fraction) {
-    std::ostringstream os;
-    os << source << ": " << st.records_quarantined << " of " << st.records_seen
-       << " records are malformed, above the tolerated fraction "
-       << policy.max_bad_fraction << " — artifact too damaged to trust";
-    throw Error(os.str(), ErrorCode::kCorruptArtifact);
-  }
+  enforce_quarantine_cap(source, policy, st);
   return trace;
 }
 
+/// Decodes one binary event record; throws Error(kParse) on an invalid
+/// field.  `label_blob` is the label region the (offset, length) reference
+/// must fall inside.
+mem::AllocationEvent parse_binary_event(const unsigned char* p,
+                                        std::string_view label_blob,
+                                        std::size_t ordinal) {
+  const std::uint8_t kind = p[0];
+  if (kind > 1) {
+    throw Error("event record #" + std::to_string(ordinal) +
+                    ": unknown kind byte " + std::to_string(kind),
+                ErrorCode::kParse);
+  }
+  const std::uint32_t off = get_u32(p + 1);
+  const std::uint32_t len = get_u32(p + 5);
+  if (off > label_blob.size() || len > label_blob.size() - off) {
+    throw Error("event record #" + std::to_string(ordinal) +
+                    ": label reference [" + std::to_string(off) + ", +" +
+                    std::to_string(len) + ") falls outside the label blob",
+                ErrorCode::kParse);
+  }
+  mem::AllocationEvent e;
+  e.kind = static_cast<mem::AllocationEvent::Kind>(kind);
+  e.site.label = std::string(label_blob.substr(off, len));
+  e.base = get_u64(p + 9);
+  e.size_bytes = get_u64(p + 17);
+  return e;
+}
+
+/// Decodes one binary sample record; throws Error(kParse) on an invalid
+/// field (level byte, write flag, non-finite latency).
+MemorySample parse_binary_sample(const unsigned char* p, std::size_t ordinal) {
+  const std::uint8_t level = p[28];
+  if (level > kMaxLevelByte) {
+    throw Error("sample record #" + std::to_string(ordinal) +
+                    ": unknown memory-level byte " + std::to_string(level),
+                ErrorCode::kParse);
+  }
+  const std::uint8_t write = p[29];
+  if (write > 1) {
+    throw Error("sample record #" + std::to_string(ordinal) +
+                    ": malformed write flag " + std::to_string(write),
+                ErrorCode::kParse);
+  }
+  const float latency = bits_float(get_u32(p + 24));
+  if (!std::isfinite(latency) || latency < 0.0f) {
+    throw Error("sample record #" + std::to_string(ordinal) +
+                    ": malformed latency bits",
+                ErrorCode::kParse);
+  }
+  MemorySample s;
+  s.address = get_u64(p);
+  s.cycle = get_u64(p + 8);
+  s.cpu = static_cast<topology::CpuId>(get_u32(p + 16));
+  s.tid = get_u32(p + 20);
+  s.latency_cycles = latency;
+  s.level = static_cast<MemLevel>(level);
+  s.is_write = write == 1;
+  return s;
+}
+
+/// Parses a v3 binary body under `policy`.  Record ordinals are keyed the
+/// way CSV line numbers would be for the same trace (events start at 2,
+/// samples follow), so one fault spec damages the same logical record in
+/// either format.  In lenient mode a truncated tail quarantines the missing
+/// records against the declared counts, so stats are stable across loads.
+Trace parse_binary(const std::string& body, const std::string& source,
+                   const util::LoadPolicy& policy, util::LoadStats* stats) {
+  util::LoadStats local;
+  util::LoadStats& st = stats != nullptr ? *stats : local;
+  TraceMetrics& metrics = TraceMetrics::get();
+  const auto* base = reinterpret_cast<const unsigned char*>(body.data());
+  if (body.size() < kBinaryPreludeBytes) {
+    throw Error(source + ": binary trace prelude is " +
+                    std::to_string(body.size()) + " bytes, expected " +
+                    std::to_string(kBinaryPreludeBytes) +
+                    " — artifact is truncated or corrupt",
+                ErrorCode::kCorruptArtifact);
+  }
+  if (get_u32(base) != kBinaryMagic) {
+    throw Error(source + ": binary trace magic mismatch (body is not a v3 "
+                         "trace encoding)",
+                ErrorCode::kParse);
+  }
+  if (get_u32(base + 4) != 0) {
+    throw Error(source + ": unsupported binary trace flags", ErrorCode::kParse);
+  }
+  const std::uint64_t event_count = get_u64(base + 8);
+  const std::uint64_t sample_count = get_u64(base + 16);
+  const std::uint64_t label_bytes = get_u64(base + 24);
+  // Declared counts beyond what any body of this size could hold mean the
+  // prelude itself is damaged — unrecoverable in either mode (and the guard
+  // bounds the quarantine loops below against absurd counts).
+  if (event_count > body.size() || sample_count > body.size() ||
+      label_bytes > body.size()) {
+    throw Error(source + ": binary trace prelude declares more records than "
+                         "the body could hold — prelude is corrupt",
+                ErrorCode::kCorruptArtifact);
+  }
+  const std::size_t events_off = kBinaryPreludeBytes +
+                                 static_cast<std::size_t>(label_bytes);
+  const std::size_t samples_off =
+      events_off + static_cast<std::size_t>(event_count) * kBinaryEventBytes;
+  const std::size_t expected =
+      samples_off + static_cast<std::size_t>(sample_count) * kBinarySampleBytes;
+  if (body.size() != expected && !policy.lenient()) {
+    throw Error(source + ": binary trace body is " +
+                    std::to_string(body.size()) + " bytes, expected " +
+                    std::to_string(expected) +
+                    " — artifact is truncated or corrupt",
+                ErrorCode::kCorruptArtifact);
+  }
+  const bool labels_ok = events_off <= body.size();
+  const std::string_view label_blob(
+      body.data() + kBinaryPreludeBytes,
+      labels_ok ? static_cast<std::size_t>(label_bytes) : 0);
+  std::size_t events_avail = 0;
+  std::size_t samples_avail = 0;
+  if (labels_ok) {
+    events_avail = std::min<std::uint64_t>(
+        event_count, (body.size() - events_off) / kBinaryEventBytes);
+    if (body.size() >= samples_off) {
+      samples_avail = std::min<std::uint64_t>(
+          sample_count, (body.size() - samples_off) / kBinarySampleBytes);
+    }
+  }
+  Trace trace;
+  trace.events.reserve(events_avail);
+  trace.samples.reserve(samples_avail);
+  const bool faults_armed =
+      fault::kEnabled && fault::Injector::global().armed();
+  unsigned char scratch[kBinaryPreludeBytes];
+  // Returns the record bytes to decode: the mapped body bytes, or a locally
+  // damaged copy when the "trace.read" corrupt fault fires for this key.
+  const auto record_bytes = [&](const unsigned char* p, std::size_t nbytes,
+                                std::uint64_t key) -> const unsigned char* {
+    if (!faults_armed ||
+        !fault::should_inject("trace.read", fault::Kind::kCorruptField, key)) {
+      return p;
+    }
+    std::memcpy(scratch, p, nbytes);
+    const std::uint64_t bit = fault::corrupt_bits("trace.read", key, 0);
+    scratch[bit % nbytes] ^= 0x11;
+    return scratch;
+  };
+  const auto quarantine = [&](const Error& e, std::uint64_t key) {
+    if (!policy.lenient()) {
+      throw Error(source + ": " + e.what(), e.code());
+    }
+    ++st.records_quarantined;
+    metrics.records_quarantined.add(1);
+    obs::flight().note("quarantine", source, key);
+  };
+  // One batched add instead of a per-record atomic increment: with 1M+
+  // samples per trace the counter traffic is measurable in the load path.
+  metrics.records_seen.add(event_count + sample_count);
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    const std::uint64_t key = 2 + i;  // the CSV line this record would be on
+    ++st.records_seen;
+    if (i >= events_avail) {
+      quarantine(Error("event record #" + std::to_string(i) +
+                           ": missing from truncated body",
+                       ErrorCode::kCorruptArtifact),
+                 key);
+      continue;
+    }
+    try {
+      trace.events.push_back(parse_binary_event(
+          record_bytes(base + events_off + i * kBinaryEventBytes,
+                       kBinaryEventBytes, key),
+          label_blob, static_cast<std::size_t>(i)));
+      ++st.records_ok;
+    } catch (const Error& e) {
+      quarantine(e, key);
+    }
+  }
+  for (std::uint64_t i = 0; i < sample_count; ++i) {
+    const std::uint64_t key = 2 + event_count + i;
+    ++st.records_seen;
+    if (i >= samples_avail) {
+      quarantine(Error("sample record #" + std::to_string(i) +
+                           ": missing from truncated body",
+                       ErrorCode::kCorruptArtifact),
+                 key);
+      continue;
+    }
+    try {
+      trace.samples.push_back(parse_binary_sample(
+          record_bytes(base + samples_off + i * kBinarySampleBytes,
+                       kBinarySampleBytes, key),
+          static_cast<std::size_t>(i)));
+      ++st.records_ok;
+    } catch (const Error& e) {
+      quarantine(e, key);
+    }
+  }
+  enforce_quarantine_cap(source, policy, st);
+  return trace;
+}
+
+/// Dispatches a validated artifact body to the CSV or binary parser by its
+/// header version.
+Trace parse_trace_body(const util::VersionedArtifact& artifact,
+                       const std::string& source,
+                       const util::LoadPolicy& policy,
+                       util::LoadStats* stats) {
+  if (artifact.header.version >= 3) {
+    return parse_binary(artifact.body, source, policy, stats);
+  }
+  return parse_records(artifact.body, source, 2, policy, stats);
+}
+
+// --- Sharded sets ---------------------------------------------------------
+
+struct ShardEntry {
+  std::string file;  // file name relative to the index's directory
+  std::uint32_t crc = 0;
+  std::size_t bytes = 0;
+  std::size_t events = 0;
+  std::size_t samples = 0;
+};
+
+struct ShardIndex {
+  TraceFormat format = TraceFormat::kCsv;
+  std::vector<ShardEntry> entries;
+};
+
+/// Parses the line-oriented "#drbw-trace-index" body.  `source` names the
+/// index file in every error.
+ShardIndex parse_shard_index(const std::string& body,
+                             const std::string& source) {
+  ShardIndex index;
+  std::size_t declared_shards = 0;
+  bool saw_format = false;
+  bool saw_shards = false;
+  std::istringstream is(body);
+  std::string line;
+  std::size_t line_no = 1;  // the header line
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    const auto fields = split_csv(line);
+    const std::string& kind = fields[0];
+    try {
+      if (kind == "format") {
+        require_arity(fields, 2);
+        index.format = trace_format_from_name(fields[1]);
+        saw_format = true;
+      } else if (kind == "shards") {
+        require_arity(fields, 2);
+        declared_shards = static_cast<std::size_t>(to_u64(fields[1]));
+        saw_shards = true;
+      } else if (kind == "shard") {
+        require_arity(fields, 6);
+        ShardEntry entry;
+        entry.file = fields[1];
+        char* end = nullptr;
+        entry.crc = static_cast<std::uint32_t>(
+            std::strtoul(fields[2].c_str(), &end, 16));
+        if (end == nullptr || *end != '\0' || fields[2].size() != 8) {
+          throw Error("malformed shard crc32 '" + fields[2] + "'",
+                      ErrorCode::kParse);
+        }
+        entry.bytes = static_cast<std::size_t>(to_u64(fields[3]));
+        entry.events = static_cast<std::size_t>(to_u64(fields[4]));
+        entry.samples = static_cast<std::size_t>(to_u64(fields[5]));
+        if (entry.file.empty() ||
+            entry.file.find('/') != std::string::npos ||
+            entry.file.find("..") != std::string::npos) {
+          throw Error("shard file name '" + entry.file +
+                          "' must be a plain sibling file name",
+                      ErrorCode::kParse);
+        }
+        index.entries.push_back(std::move(entry));
+      } else {
+        throw Error("unknown index record kind '" + kind + "'",
+                    ErrorCode::kParse);
+      }
+    } catch (const Error& e) {
+      if (e.code() == ErrorCode::kUsage) {
+        // trace_format_from_name flags bad CLI input as kUsage; in an index
+        // body it is a parse defect of the artifact, not of the invocation.
+        throw Error(source + ":" + std::to_string(line_no) + ": " + e.what(),
+                    ErrorCode::kParse);
+      }
+      throw Error(source + ":" + std::to_string(line_no) + ": " + e.what(),
+                  e.code());
+    }
+  }
+  if (!saw_format || !saw_shards) {
+    throw Error(source + ": shard index is missing its format/shards lines",
+                ErrorCode::kParse);
+  }
+  if (declared_shards != index.entries.size() || index.entries.empty()) {
+    throw Error(source + ": shard index declares " +
+                    std::to_string(declared_shards) + " shards but lists " +
+                    std::to_string(index.entries.size()),
+                ErrorCode::kCorruptArtifact);
+  }
+  return index;
+}
+
+std::string shard_sibling_path(const std::string& index_path,
+                               const std::string& file) {
+  namespace fs = std::filesystem;
+  const fs::path parent = fs::path(index_path).parent_path();
+  return parent.empty() ? file : (parent / file).string();
+}
+
+/// Loads every shard of a set in parallel and merges in index order.  The
+/// merged trace, stats, and every obs count are byte-identical at any
+/// `options.jobs` because each shard is a pure function of its index slot
+/// and errors are re-raised lowest-shard-first after the join.
+Trace load_sharded(const std::string& index_path, const ShardIndex& index,
+                   const LoadOptions& options, util::LoadStats& st) {
+  TraceMetrics& metrics = TraceMetrics::get();
+  const std::size_t n = index.entries.size();
+  struct Slot {
+    Trace trace;
+    util::LoadStats stats;
+    std::exception_ptr error;
+  };
+  std::vector<Slot> slots(n);
+  // Shards parse uncapped: the max_bad_fraction cap must apply once, to the
+  // merged totals, or a small shard could escalate a load the policy would
+  // tolerate as a whole.
+  util::LoadPolicy shard_policy = options.policy;
+  shard_policy.max_bad_fraction = 1.0;
+  util::TaskPool pool(options.jobs);
+  pool.parallel_for(n, [&](std::size_t i) {
+    Slot& slot = slots[i];
+    try {
+      obs::Span span("trace.shard.load");
+      const ShardEntry& entry = index.entries[i];
+      const std::string shard_path = shard_sibling_path(index_path, entry.file);
+      fault::maybe_fail("trace.shard.read", i,
+                        "injected fault: shard read failure at shard #" +
+                            std::to_string(i) + " of '" + index_path + "'");
+      std::string content = util::read_file_or_throw(shard_path, "trace shard");
+      const util::VersionedArtifact artifact = util::validate_versioned_content(
+          shard_path, std::move(content), kArtifactKind, options.max_version,
+          shard_policy, &slot.stats);
+      if (artifact.legacy) {
+        throw Error(shard_path +
+                        ": not a DR-BW trace (missing '#drbw-trace' header)",
+                    ErrorCode::kParse);
+      }
+      const std::uint32_t crc = util::crc32(artifact.body);
+      const bool matches_index =
+          crc == entry.crc && artifact.body.size() == entry.bytes;
+      if (!matches_index &&
+          (!options.policy.lenient() || slot.stats.checksum_ok)) {
+        // Either strict, or the shard is internally consistent yet not the
+        // one the index committed (swapped or regenerated out-of-band) —
+        // per-record salvage can't repair a set-level inconsistency.
+        throw Error(shard_path + ": shard does not match the set index at '" +
+                        index_path + "' (crc32 " + hex8(crc) +
+                        " != declared " + hex8(entry.crc) +
+                        ") — shard set is inconsistent",
+                    ErrorCode::kCorruptArtifact);
+      }
+      if (!slot.stats.checksum_ok) metrics.checksum_failures.add(1);
+      slot.trace = parse_trace_body(artifact, shard_path, shard_policy,
+                                    &slot.stats);
+      metrics.bytes_loaded.add(artifact.body.size());
+      metrics.shards_loaded.add(1);
+    } catch (...) {
+      slot.error = std::current_exception();
+    }
+  });
+  Trace merged;
+  std::size_t total_events = 0;
+  std::size_t total_samples = 0;
+  for (const ShardEntry& entry : index.entries) {
+    total_events += entry.events;
+    total_samples += entry.samples;
+  }
+  merged.events.reserve(total_events);
+  merged.samples.reserve(total_samples);
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& slot = slots[i];
+    if (slot.error) {
+      if (!options.policy.lenient()) std::rethrow_exception(slot.error);
+      // Whole-shard quarantine: account the index's declared record counts,
+      // so lenient stats are stable no matter how the shard failed.
+      const ShardEntry& entry = index.entries[i];
+      const std::size_t declared = entry.events + entry.samples;
+      st.records_seen += declared;
+      st.records_quarantined += declared;
+      st.checksum_ok = false;
+      metrics.records_seen.add(declared);
+      metrics.records_quarantined.add(declared);
+      obs::flight().note("shard-quarantine", index_path, i);
+      continue;
+    }
+    st.records_seen += slot.stats.records_seen;
+    st.records_ok += slot.stats.records_ok;
+    st.records_quarantined += slot.stats.records_quarantined;
+    st.checksum_ok = st.checksum_ok && slot.stats.checksum_ok;
+    merged.events.insert(merged.events.end(),
+                         std::make_move_iterator(slot.trace.events.begin()),
+                         std::make_move_iterator(slot.trace.events.end()));
+    merged.samples.insert(merged.samples.end(), slot.trace.samples.begin(),
+                          slot.trace.samples.end());
+  }
+  enforce_quarantine_cap(index_path, options.policy, st);
+  return merged;
+}
+
 }  // namespace
+
+std::vector<std::string> save_trace(const std::string& path,
+                                    const Trace& trace,
+                                    const SaveOptions& options) {
+  if (options.shards < 1 || options.shards > kMaxTraceShards) {
+    throw Error("--shards must be between 1 and " +
+                    std::to_string(kMaxTraceShards) + ", got " +
+                    std::to_string(options.shards),
+                ErrorCode::kUsage);
+  }
+  const int version = options.format == TraceFormat::kBinary
+                          ? kTraceVersion
+                          : kTraceCsvVersion;
+  if (options.shards == 1) {
+    util::write_versioned_artifact(
+        path, kArtifactKind, version,
+        render_body(options.format, trace.events.data(), trace.events.size(),
+                    trace.samples.data(), trace.samples.size()),
+        "trace.write");
+    return {path};
+  }
+  const std::size_t shards = options.shards;
+  struct ShardMeta {
+    std::uint32_t crc = 0;
+    std::size_t bytes = 0;
+    std::size_t events = 0;
+    std::size_t samples = 0;
+  };
+  std::vector<ShardMeta> metas(shards);
+  std::vector<std::string> shard_paths(shards);
+  std::vector<std::exception_ptr> errors(shards);
+  const auto range = [](std::size_t total, std::size_t parts, std::size_t i) {
+    return std::make_pair(total * i / parts, total * (i + 1) / parts);
+  };
+  util::TaskPool pool(options.jobs);
+  pool.parallel_for(shards, [&](std::size_t i) {
+    try {
+      obs::Span span("trace.shard.save");
+      const auto [eb, ee] = range(trace.events.size(), shards, i);
+      const auto [sb, se] = range(trace.samples.size(), shards, i);
+      fault::maybe_fail("trace.shard.write", i,
+                        "injected fault: shard write failure at shard #" +
+                            std::to_string(i) + " of '" + path + "'");
+      const std::string body = render_body(
+          options.format, trace.events.data() + eb, ee - eb,
+          trace.samples.data() + sb, se - sb);
+      const std::string shard_path = util::shard_file_name(path, i, shards);
+      util::write_versioned_artifact(shard_path, kArtifactKind, version, body,
+                                     "trace.shard.write");
+      metas[i] = ShardMeta{util::crc32(body), body.size(), ee - eb, se - sb};
+      shard_paths[i] = shard_path;
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  // Re-raise lowest shard first so the surfaced error is jobs-independent.
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  // The index commits the set: it is written last, so a failure anywhere
+  // above leaves no index and a loader never sees a partial set.
+  std::ostringstream body;
+  body << "format," << trace_format_name(options.format) << '\n'
+       << "shards," << shards << '\n';
+  namespace fs = std::filesystem;
+  for (std::size_t i = 0; i < shards; ++i) {
+    body << "shard," << fs::path(shard_paths[i]).filename().string() << ','
+         << hex8(metas[i].crc) << ',' << metas[i].bytes << ','
+         << metas[i].events << ',' << metas[i].samples << '\n';
+  }
+  util::write_versioned_artifact(path, kIndexKind, kTraceIndexVersion,
+                                 body.str(), "trace.write");
+  std::vector<std::string> written;
+  written.reserve(shards + 1);
+  written.push_back(path);
+  written.insert(written.end(), shard_paths.begin(), shard_paths.end());
+  return written;
+}
 
 Trace read_trace(std::istream& is, const util::LoadPolicy& policy,
                  util::LoadStats* stats) {
@@ -264,10 +911,13 @@ Trace read_trace(std::istream& is, const util::LoadPolicy& policy,
     throw Error("not a DR-BW trace (artifact kind is '" + header->kind + "')",
                 ErrorCode::kParse);
   }
-  if (header->version > kTraceVersion) {
+  if (header->version > kTraceCsvVersion) {
     throw Error("trace format v" + std::to_string(header->version) +
-                    " is newer than the supported v" +
-                    std::to_string(kTraceVersion),
+                    " is newer than the stream reader's v" +
+                    std::to_string(kTraceCsvVersion) +
+                    " (offending header token 'v" +
+                    std::to_string(header->version) +
+                    "'; binary traces load from files via load_trace)",
                 ErrorCode::kVersionSkew);
   }
   const std::string body =
@@ -279,23 +929,75 @@ Trace read_trace(std::istream& is) {
   return read_trace(is, util::LoadPolicy{}, nullptr);
 }
 
-Trace load_trace(const std::string& path, const util::LoadPolicy& policy,
+Trace load_trace(const std::string& path, const LoadOptions& options,
                  util::LoadStats* stats) {
-  const util::VersionedArtifact artifact =
-      util::read_versioned_artifact(path, kArtifactKind, kTraceVersion, policy,
-                                    stats);
+  util::LoadStats local;
+  util::LoadStats& st = stats != nullptr ? *stats : local;
+  std::string content = util::read_file_or_throw(path, "trace file");
+  const std::size_t eol = content.find('\n');
+  const std::string first_line =
+      trim(eol == std::string::npos ? content : content.substr(0, eol));
+  std::optional<util::ArtifactHeader> header;
+  try {
+    header = util::parse_artifact_header(first_line);
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what(), e.code());
+  }
+  if (header.has_value() && header->kind == kIndexKind) {
+    const util::VersionedArtifact artifact = util::validate_versioned_content(
+        path, std::move(content), kIndexKind, kTraceIndexVersion,
+        options.policy, &st);
+    if (!st.checksum_ok) TraceMetrics::get().checksum_failures.add(1);
+    return load_sharded(path, parse_shard_index(artifact.body, path), options,
+                        st);
+  }
+  const util::VersionedArtifact artifact = util::validate_versioned_content(
+      path, std::move(content), kArtifactKind, options.max_version,
+      options.policy, &st);
   if (artifact.legacy) {
     throw Error(path + ": not a DR-BW trace (missing '#drbw-trace' header)",
                 ErrorCode::kParse);
   }
-  if (stats != nullptr && !stats->checksum_ok) {
-    TraceMetrics::get().checksum_failures.add(1);
-  }
-  return parse_records(artifact.body, path, 2, policy, stats);
+  if (!st.checksum_ok) TraceMetrics::get().checksum_failures.add(1);
+  Trace trace = parse_trace_body(artifact, path, options.policy, &st);
+  TraceMetrics::get().bytes_loaded.add(artifact.body.size());
+  return trace;
+}
+
+Trace load_trace(const std::string& path, const util::LoadPolicy& policy,
+                 util::LoadStats* stats) {
+  LoadOptions options;
+  options.policy = policy;
+  return load_trace(path, options, stats);
 }
 
 Trace load_trace(const std::string& path) {
   return load_trace(path, util::LoadPolicy{}, nullptr);
+}
+
+std::vector<std::string> trace_artifact_paths(const std::string& path) {
+  try {
+    const std::string content = util::read_file_or_throw(path, "trace file");
+    const std::size_t eol = content.find('\n');
+    const std::string first_line =
+        trim(eol == std::string::npos ? content : content.substr(0, eol));
+    const auto header = util::parse_artifact_header(first_line);
+    if (!header.has_value() || header->kind != kIndexKind) return {path};
+    const std::string body =
+        eol == std::string::npos ? std::string() : content.substr(eol + 1);
+    const ShardIndex index = parse_shard_index(body, path);
+    std::vector<std::string> paths;
+    paths.reserve(index.entries.size() + 1);
+    paths.push_back(path);
+    for (const ShardEntry& entry : index.entries) {
+      paths.push_back(shard_sibling_path(path, entry.file));
+    }
+    return paths;
+  } catch (const Error&) {
+    // Damaged or missing artifacts still get listed (and content-hashed as
+    // absent) under the primary path; the loader reports the real error.
+    return {path};
+  }
 }
 
 }  // namespace drbw::pebs

@@ -262,8 +262,11 @@ DoctorReport doctor(const std::string& run_dir) {
           "current binary (`drbw record` / `drbw train`)");
     } else if (m.error_code == "version-skew") {
       add("artifact version skew", "error: " + m.message,
-          "the artifact was written by a newer format version; rebuild drbw "
-          "or regenerate the artifact");
+          "the artifact's header (the offending token is named in the "
+          "error) is newer than what this run accepted; re-record it with "
+          "this build (`drbw record`), convert it to the expected version "
+          "(`drbw convert --format csv`), or drop the "
+          "--expect-trace-version pin / rebuild drbw");
     } else if (m.error_code == "not-found") {
       add("missing input file", "error: " + m.message,
           "check the path (the error message lists same-extension siblings "

@@ -126,13 +126,23 @@ std::string read_file_or_throw(const std::string& path,
                     "': " + std::strerror(errno),
                 ErrorCode::kIo);
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) {
+  // Size the buffer up front and read once: streaming through an
+  // ostringstream costs more than the checksum pass for multi-megabyte
+  // binary trace bodies.
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (end < 0) {
     throw Error("I/O error reading " + what + " '" + path + "'",
                 ErrorCode::kIo);
   }
-  return buffer.str();
+  std::string buffer(static_cast<std::size_t>(end), '\0');
+  in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (in.bad() || in.gcount() != static_cast<std::streamsize>(buffer.size())) {
+    throw Error("I/O error reading " + what + " '" + path + "'",
+                ErrorCode::kIo);
+  }
+  return buffer;
 }
 
 void atomic_write_file(const std::string& path, std::string_view content) {
@@ -176,12 +186,19 @@ void write_versioned_artifact(const std::string& path, const std::string& kind,
   atomic_write_file(path, content);
 }
 
-VersionedArtifact read_versioned_artifact(const std::string& path,
-                                          const std::string& kind,
-                                          int max_version,
-                                          const LoadPolicy& policy,
-                                          LoadStats* stats) {
-  const std::string content = read_file_or_throw(path, kind + " file");
+std::string shard_file_name(const std::string& path, std::size_t index,
+                            std::size_t count) {
+  char suffix[40];
+  std::snprintf(suffix, sizeof suffix, ".shard-%03zu-of-%03zu", index, count);
+  return path + suffix;
+}
+
+VersionedArtifact validate_versioned_content(const std::string& source,
+                                             std::string&& content,
+                                             const std::string& kind,
+                                             int max_version,
+                                             const LoadPolicy& policy,
+                                             LoadStats* stats) {
   VersionedArtifact result;
   const std::size_t eol = content.find('\n');
   const std::string first_line =
@@ -190,36 +207,45 @@ VersionedArtifact read_versioned_artifact(const std::string& path,
   try {
     header = parse_artifact_header(first_line);
   } catch (const Error& e) {
-    throw Error(path + ": " + e.what(), e.code());
+    throw Error(source + ": " + e.what(), e.code());
   }
   if (!header.has_value()) {
     result.legacy = true;
-    result.body = content;
+    result.body = std::move(content);
     return result;
   }
   if (header->kind != kind) {
-    throw Error(path + ": artifact kind is '" + header->kind +
+    throw Error(source + ": artifact kind is '" + header->kind +
                     "', expected '" + kind + "'",
                 ErrorCode::kParse);
   }
   if (header->version > max_version) {
-    throw Error(path + ": " + kind + " format v" +
+    throw Error(source + ": " + kind + " format v" +
                     std::to_string(header->version) +
                     " is newer than the supported v" +
                     std::to_string(max_version) +
-                    " (version skew — rebuild or regenerate the artifact)",
+                    " (offending header token 'v" +
+                    std::to_string(header->version) +
+                    "'; version skew — regenerate the artifact with this "
+                    "build, or convert it to a supported version)",
                 ErrorCode::kVersionSkew);
   }
   result.header = *header;
-  result.body =
-      eol == std::string::npos ? std::string() : content.substr(eol + 1);
+  if (eol == std::string::npos) {
+    result.body.clear();
+  } else {
+    // Strip the header line in place instead of copying the body out:
+    // erase is one memmove, substr would be a second body-sized allocation.
+    content.erase(0, eol + 1);
+    result.body = std::move(content);
+  }
   if (header->has_checksum) {
     const std::uint32_t actual = crc32(result.body);
     const bool size_ok = result.body.size() == header->bytes;
     if (actual != header->crc || !size_ok) {
       if (!policy.lenient()) {
         std::ostringstream os;
-        os << path << ": " << kind << " body fails validation (";
+        os << source << ": " << kind << " body fails validation (";
         if (!size_ok) {
           os << "length " << result.body.size() << " != declared "
              << header->bytes;
@@ -237,6 +263,16 @@ VersionedArtifact read_versioned_artifact(const std::string& path,
     }
   }
   return result;
+}
+
+VersionedArtifact read_versioned_artifact(const std::string& path,
+                                          const std::string& kind,
+                                          int max_version,
+                                          const LoadPolicy& policy,
+                                          LoadStats* stats) {
+  std::string content = read_file_or_throw(path, kind + " file");
+  return validate_versioned_content(path, std::move(content), kind,
+                                    max_version, policy, stats);
 }
 
 }  // namespace drbw::util

@@ -420,6 +420,84 @@ TEST(CorruptionCorpus, QuarantineCountsAreExactAndStable) {
   EXPECT_EQ(second.records_ok, first.records_ok);
 }
 
+TEST(CorruptionCorpus, ShortBinaryBodyStrictRejectsLenientQuarantines) {
+  // A v3 binary trace whose body was cut 300 bytes (10 samples) short, with
+  // the header recomputed over the short body: the crc passes and only the
+  // structural length check can catch the damage.
+  const std::string path = kDataDir + "/short_binary_trace.bin";
+  std::string message;
+  EXPECT_EQ(code_of([&] { pebs::load_trace(path); }, &message),
+            ErrorCode::kCorruptArtifact);
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+
+  util::LoadStats first;
+  util::LoadStats second;
+  const util::LoadPolicy lenient{util::LoadMode::kLenient};
+  (void)pebs::load_trace(path, lenient, &first);
+  (void)pebs::load_trace(path, lenient, &second);
+  EXPECT_EQ(first.records_seen, 69u);  // 9 events + 60 declared samples
+  EXPECT_EQ(first.records_quarantined, 10u);
+  EXPECT_EQ(first.records_ok, 59u);
+  EXPECT_TRUE(first.checksum_ok);  // the header matches the short body
+  EXPECT_EQ(second.records_quarantined, first.records_quarantined);
+  EXPECT_EQ(second.records_ok, first.records_ok);
+}
+
+TEST(CorruptionCorpus, MissingShardStrictNotFoundLenientQuarantines) {
+  const std::string path = kDataDir + "/sharded_trace_missing.bin";
+  std::string message;
+  EXPECT_EQ(code_of([&] { pebs::load_trace(path); }, &message),
+            ErrorCode::kNotFound);
+  EXPECT_NE(message.find("shard-001-of-003"), std::string::npos) << message;
+
+  util::LoadStats first;
+  util::LoadStats second;
+  const util::LoadPolicy tolerant{util::LoadMode::kLenient, 0.5};
+  const pebs::Trace a = pebs::load_trace(path, tolerant, &first);
+  const pebs::Trace b = pebs::load_trace(path, tolerant, &second);
+  EXPECT_EQ(first.records_seen, 69u);
+  EXPECT_EQ(first.records_quarantined, 23u);  // shard 1: 3 events, 20 samples
+  EXPECT_FALSE(first.checksum_ok);
+  EXPECT_EQ(a.samples.size(), 40u);
+  EXPECT_EQ(a.samples.size(), b.samples.size());
+  EXPECT_EQ(second.records_quarantined, first.records_quarantined);
+}
+
+TEST(CorruptionCorpus, BitflippedShardStrictRejectsLenientSalvages) {
+  const std::string path = kDataDir + "/sharded_trace_bitflip.bin";
+  EXPECT_EQ(code_of([&] { pebs::load_trace(path); }),
+            ErrorCode::kCorruptArtifact);
+
+  util::LoadStats first;
+  util::LoadStats second;
+  const util::LoadPolicy lenient{util::LoadMode::kLenient};
+  (void)pebs::load_trace(path, lenient, &first);
+  (void)pebs::load_trace(path, lenient, &second);
+  EXPECT_EQ(first.records_seen, 69u);
+  EXPECT_LE(first.records_quarantined, 1u);  // at most the one flipped record
+  EXPECT_FALSE(first.checksum_ok);
+  EXPECT_EQ(second.records_quarantined, first.records_quarantined);
+  EXPECT_EQ(second.records_ok, first.records_ok);
+}
+
+TEST(CorruptionCorpus, SwappedShardIsSetInconsistencyInBothModes) {
+  // Shard 001 is internally valid but not the shard the index committed:
+  // per-record salvage cannot repair that, so lenient quarantines it whole.
+  const std::string path = kDataDir + "/sharded_trace_swap.bin";
+  std::string message;
+  EXPECT_EQ(code_of([&] { pebs::load_trace(path); }, &message),
+            ErrorCode::kCorruptArtifact);
+  EXPECT_NE(message.find("does not match the set index"), std::string::npos)
+      << message;
+
+  util::LoadStats stats;
+  const util::LoadPolicy tolerant{util::LoadMode::kLenient, 0.5};
+  const pebs::Trace merged = pebs::load_trace(path, tolerant, &stats);
+  EXPECT_EQ(stats.records_quarantined, 23u);
+  EXPECT_FALSE(stats.checksum_ok);
+  EXPECT_EQ(merged.samples.size(), 40u);
+}
+
 TEST(CorruptionCorpus, QuarantineCapEscalatesToCorruptArtifact) {
   const std::string path = kDataDir + "/malformed_records_trace.csv";
   // 2 of 10 records are bad (20%): a 10% cap must escalate.

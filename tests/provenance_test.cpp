@@ -394,6 +394,64 @@ TEST(ProvenanceCliTest, PerfDiffGateExitsThreeOnRegression) {
   EXPECT_EQ(run_cli("perf diff " + a + " " + b + " --threshold 2.0"), 0);
   EXPECT_EQ(run_cli("perf diff " + a), 64);                   // one manifest
   EXPECT_EQ(run_cli("perf diff " + a + " " + b + " --threshold x"), 64);
+
+  // Baseline vs *each* comparison manifest: one regressing run anywhere in
+  // the list gates the whole invocation.
+  EXPECT_EQ(run_cli("perf diff " + a + " " + a + " " + a), 0);
+  EXPECT_EQ(run_cli("perf diff " + a + " " + a + " " + b), 3);
+  EXPECT_EQ(run_cli("perf diff " + a + " " + b + " " + a), 3);
+  EXPECT_EQ(run_cli("perf diff " + a + " " + a + " " + b + " --threshold 2.0"),
+            0);
+}
+
+TEST(ProvenanceCliTest, ExpectTraceVersionPinGatesBinaryTraces) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with -DDRBW_OBS=OFF";
+  const std::string trace = testing::TempDir() + "/prov_pin_trace.bin";
+  ASSERT_EQ(run_cli("record --config T4-N2 --format binary --out " + trace +
+                    " --run-dir " + make_run_dir("rec_pin")),
+            0);
+  // A strict v2-only consumer meets a v3 binary trace: version skew, and
+  // the run dir diagnoses it with re-record/convert advice.
+  const std::string dir = make_run_dir("pin69");
+  EXPECT_EQ(run_cli("analyze --trace " + trace +
+                    " --expect-trace-version 2 --run-dir " + dir),
+            69);
+  const report::DoctorReport rep = report::doctor(dir);
+  EXPECT_EQ(rep.manifest.error_code, "version-skew");
+  ASSERT_FALSE(rep.findings.empty());
+  EXPECT_NE(rep.findings[0].advice.find("convert"), std::string::npos);
+  EXPECT_EQ(run_cli("doctor " + dir), 0);
+  // Pinning the version the trace actually has succeeds.
+  const int ok = run_cli("analyze --trace " + trace +
+                         " --expect-trace-version 3 --run-dir " +
+                         make_run_dir("pin_ok"));
+  EXPECT_TRUE(ok == 0 || ok == 2) << ok;  // 2 = contention detected
+  // Pins outside the supported range are usage errors.
+  EXPECT_EQ(run_cli("analyze --trace " + trace +
+                    " --expect-trace-version 4 --run-dir " +
+                    make_run_dir("pin_bad")),
+            64);
+}
+
+TEST(ProvenanceCliTest, ConvertRoundTripsFormatsByteExactly) {
+  const std::string csv = testing::TempDir() + "/prov_cv.csv";
+  const std::string bin = testing::TempDir() + "/prov_cv.bin";
+  const std::string back = testing::TempDir() + "/prov_cv_back.csv";
+  ASSERT_EQ(run_cli("record --config T4-N2 --out " + csv + " --run-dir " +
+                    make_run_dir("rec_cv")),
+            0);
+  ASSERT_EQ(run_cli("convert --in " + csv + " --out " + bin +
+                    " --format binary --shards 3 --jobs 2"),
+            0);
+  ASSERT_EQ(run_cli("convert --in " + bin + " --out " + back +
+                    " --format csv --jobs 2"),
+            0);
+  // csv -> sharded binary -> csv is lossless down to the bytes.
+  EXPECT_EQ(read_file(csv), read_file(back));
+  EXPECT_EQ(run_cli("convert --in /nonexistent.csv --out " + bin), 66);
+  EXPECT_EQ(run_cli("convert --in " + csv + " --out " + bin +
+                    " --format tsv"),
+            64);
 }
 
 #endif  // DRBW_CLI_PATH

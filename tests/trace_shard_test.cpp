@@ -1,0 +1,422 @@
+// Binary (v3) trace bodies and sharded trace sets: round trips, parallel
+// merge determinism, the corruption corpus (truncated body, bit-flipped
+// shard, missing shard, shard/index mismatch), version-skew pinning, and
+// the trace.shard.* fault sites.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "drbw/fault/injector.hpp"
+#include "drbw/pebs/trace_io.hpp"
+#include "drbw/util/artifact.hpp"
+
+namespace drbw::pebs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Deterministic synthetic trace exercising every field: quoted labels,
+/// frees, all six memory levels, write bits, wide addresses.
+Trace make_trace(std::size_t events, std::size_t samples) {
+  Trace trace;
+  for (std::size_t i = 0; i < events; ++i) {
+    if (i % 5 == 4) {
+      trace.events.push_back(mem::AllocationEvent{
+          mem::AllocationEvent::Kind::kFree, {""}, 0x10000 + (i - 4) * 0x1000,
+          0});
+      continue;
+    }
+    trace.events.push_back(mem::AllocationEvent{
+        mem::AllocationEvent::Kind::kAlloc,
+        {"site.c:" + std::to_string(i % 7) + " buf, \"q\""},
+        0x10000 + i * 0x1000, 4096 + i});
+  }
+  for (std::size_t i = 0; i < samples; ++i) {
+    MemorySample s;
+    s.address = 0x10000 + (i * 64) % (events * 0x1000 + 0x1000);
+    s.cpu = static_cast<topology::CpuId>(i % 32);
+    s.tid = static_cast<std::uint32_t>(i % 8);
+    s.level = static_cast<MemLevel>(i % 6);
+    s.latency_cycles = 10.0f + static_cast<float>(i % 900) * 1.5f;
+    s.is_write = i % 3 == 0;
+    s.cycle = 1000 + i * 17;
+    trace.samples.push_back(s);
+  }
+  return trace;
+}
+
+bool traces_equal(const Trace& a, const Trace& b) {
+  if (a.events.size() != b.events.size()) return false;
+  if (a.samples.size() != b.samples.size()) return false;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const auto& x = a.events[i];
+    const auto& y = b.events[i];
+    if (x.kind != y.kind || x.site.label != y.site.label || x.base != y.base ||
+        x.size_bytes != y.size_bytes) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const auto& x = a.samples[i];
+    const auto& y = b.samples[i];
+    if (x.address != y.address || x.cpu != y.cpu || x.tid != y.tid ||
+        x.level != y.level || x.latency_cycles != y.latency_cycles ||
+        x.is_write != y.is_write || x.cycle != y.cycle) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/drbw_shard_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Runs `fn`, asserting it throws Error with `code`; returns the message.
+std::string expect_error(const std::function<void()>& fn, ErrorCode code) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), code) << e.what();
+    return e.what();
+  }
+  ADD_FAILURE() << "expected Error(" << error_code_name(code) << ")";
+  return "";
+}
+
+TEST(TraceBinary, RoundTripPreservesEverything) {
+  const std::string dir = fresh_dir("binrt");
+  const Trace original = make_trace(23, 400);
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  const auto written = save_trace(dir + "/t.bin", original, save);
+  ASSERT_EQ(written.size(), 1u);
+
+  // The artifact carries the v3 checksummed header over a binary body.
+  const std::string content = slurp(dir + "/t.bin");
+  EXPECT_EQ(content.rfind("#drbw-trace v3 crc32=", 0), 0u);
+
+  util::LoadStats stats;
+  const Trace loaded =
+      load_trace(dir + "/t.bin", util::LoadPolicy{}, &stats);
+  EXPECT_TRUE(traces_equal(original, loaded));
+  EXPECT_EQ(stats.records_seen, 423u);
+  EXPECT_EQ(stats.records_ok, 423u);
+  EXPECT_TRUE(stats.checksum_ok);
+}
+
+TEST(TraceBinary, EmptyTraceRoundTrips) {
+  const std::string dir = fresh_dir("binempty");
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save_trace(dir + "/t.bin", Trace{}, save);
+  const Trace loaded = load_trace(dir + "/t.bin");
+  EXPECT_TRUE(loaded.events.empty());
+  EXPECT_TRUE(loaded.samples.empty());
+}
+
+TEST(TraceBinary, FormatNamesRoundTrip) {
+  EXPECT_EQ(trace_format_from_name("csv"), TraceFormat::kCsv);
+  EXPECT_EQ(trace_format_from_name("binary"), TraceFormat::kBinary);
+  EXPECT_STREQ(trace_format_name(TraceFormat::kCsv), "csv");
+  EXPECT_STREQ(trace_format_name(TraceFormat::kBinary), "binary");
+  expect_error([] { trace_format_from_name("tsv"); }, ErrorCode::kUsage);
+}
+
+TEST(TraceBinary, CsvDefaultStillWritesV2) {
+  const std::string dir = fresh_dir("csvdefault");
+  const Trace trace = make_trace(5, 40);
+  save_trace(dir + "/t.csv", trace);
+  const std::string content = slurp(dir + "/t.csv");
+  EXPECT_EQ(content.rfind("#drbw-trace v2 crc32=", 0), 0u);
+  EXPECT_TRUE(traces_equal(trace, load_trace(dir + "/t.csv")));
+}
+
+TEST(TraceBinary, VersionSkewNamesOffendingToken) {
+  const std::string dir = fresh_dir("skew");
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save_trace(dir + "/t.bin", make_trace(3, 30), save);
+  LoadOptions load;
+  load.max_version = kTraceCsvVersion;  // a strict v2-only consumer
+  const std::string message = expect_error(
+      [&] { load_trace(dir + "/t.bin", load); }, ErrorCode::kVersionSkew);
+  EXPECT_NE(message.find("offending header token 'v3'"), std::string::npos)
+      << message;
+}
+
+TEST(TraceBinary, TruncatedBodyStrictRejectsLenientQuarantines) {
+  const std::string dir = fresh_dir("bintrunc");
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save_trace(dir + "/whole.bin", make_trace(4, 100), save);
+
+  // Variant 1: the file is cut after the fact — the header's crc32 no
+  // longer matches, so strict rejects before a single record is decoded.
+  const std::string content = slurp(dir + "/whole.bin");
+  spit(dir + "/cut.bin", content.substr(0, content.size() - 900));
+  const std::string msg1 = expect_error(
+      [&] { load_trace(dir + "/cut.bin"); }, ErrorCode::kCorruptArtifact);
+  EXPECT_NE(msg1.find("truncated or corrupt"), std::string::npos) << msg1;
+
+  // Variant 2: a checksummed-but-short body (the writer itself was cut, so
+  // header and body agree) — the structural length check catches it.
+  const std::size_t eol = content.find('\n');
+  const std::string body = content.substr(eol + 1);
+  const std::string short_body = body.substr(0, body.size() - 900);
+  util::write_versioned_artifact(dir + "/short.bin", "trace", kTraceVersion,
+                                 short_body);
+  expect_error([&] { load_trace(dir + "/short.bin"); },
+               ErrorCode::kCorruptArtifact);
+
+  // Lenient: the missing tail records are quarantined against the declared
+  // counts — and the accounting is stable across repeated loads.
+  util::LoadPolicy lenient;
+  lenient.mode = util::LoadMode::kLenient;
+  lenient.max_bad_fraction = 0.9;
+  util::LoadStats first;
+  util::LoadStats second;
+  const Trace a = load_trace(dir + "/short.bin", lenient, &first);
+  const Trace b = load_trace(dir + "/short.bin", lenient, &second);
+  EXPECT_TRUE(traces_equal(a, b));
+  EXPECT_EQ(first.records_seen, 104u);
+  EXPECT_EQ(first.records_seen, second.records_seen);
+  EXPECT_EQ(first.records_quarantined, second.records_quarantined);
+  EXPECT_EQ(first.records_quarantined, 30u);  // 900 bytes = 30 samples
+  EXPECT_EQ(first.records_ok, 74u);
+  EXPECT_TRUE(first.checksum_ok);  // header matches the short body
+}
+
+TEST(TraceShard, ShardFileNameIsZeroPadded) {
+  EXPECT_EQ(util::shard_file_name("/x/t.bin", 7, 16),
+            "/x/t.bin.shard-007-of-016");
+  EXPECT_EQ(util::shard_file_name("t.bin", 0, 4), "t.bin.shard-000-of-004");
+}
+
+TEST(TraceShard, ShardedRoundTripIdenticalAtAnyJobs) {
+  const Trace original = make_trace(17, 503);
+  const std::string d1 = fresh_dir("sj1");
+  const std::string d3 = fresh_dir("sj3");
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save.shards = 4;
+  save.jobs = 1;
+  const auto w1 = save_trace(d1 + "/t.bin", original, save);
+  save.jobs = 3;
+  const auto w3 = save_trace(d3 + "/t.bin", original, save);
+  ASSERT_EQ(w1.size(), 5u);  // index + 4 shards
+  ASSERT_EQ(w3.size(), 5u);
+
+  // The written files are byte-identical no matter how many writers ran.
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(slurp(w1[i]), slurp(w3[i])) << w1[i];
+  }
+
+  // And the merged load is identical at any reader count.
+  for (const int jobs : {1, 2, 4}) {
+    LoadOptions load;
+    load.jobs = jobs;
+    util::LoadStats stats;
+    const Trace merged = load_trace(d1 + "/t.bin", load, &stats);
+    EXPECT_TRUE(traces_equal(original, merged)) << "jobs=" << jobs;
+    EXPECT_EQ(stats.records_seen, 520u);
+    EXPECT_EQ(stats.records_ok, 520u);
+    EXPECT_TRUE(stats.checksum_ok);
+  }
+}
+
+TEST(TraceShard, ShardedCsvRoundTrips) {
+  const std::string dir = fresh_dir("scsv");
+  const Trace original = make_trace(9, 131);
+  SaveOptions save;
+  save.shards = 3;  // format stays the csv default
+  save_trace(dir + "/t.csv", original, save);
+  const std::string shard0 = slurp(dir + "/t.csv.shard-000-of-003");
+  EXPECT_EQ(shard0.rfind("#drbw-trace v2 crc32=", 0), 0u);
+  EXPECT_TRUE(traces_equal(original, load_trace(dir + "/t.csv")));
+}
+
+TEST(TraceShard, ArtifactPathsListIndexThenShards) {
+  const std::string dir = fresh_dir("paths");
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save.shards = 2;
+  save_trace(dir + "/t.bin", make_trace(4, 50), save);
+  const auto sharded = trace_artifact_paths(dir + "/t.bin");
+  ASSERT_EQ(sharded.size(), 3u);
+  EXPECT_EQ(sharded[0], dir + "/t.bin");
+  EXPECT_EQ(sharded[1], dir + "/t.bin.shard-000-of-002");
+  EXPECT_EQ(sharded[2], dir + "/t.bin.shard-001-of-002");
+
+  save_trace(dir + "/single.csv", make_trace(2, 10));
+  const auto single = trace_artifact_paths(dir + "/single.csv");
+  ASSERT_EQ(single.size(), 1u);
+  const auto missing = trace_artifact_paths(dir + "/nope.bin");
+  ASSERT_EQ(missing.size(), 1u);
+}
+
+TEST(TraceShard, MissingShardStrictNotFoundLenientQuarantinesWhole) {
+  const std::string dir = fresh_dir("missing");
+  const Trace original = make_trace(8, 200);
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save.shards = 4;
+  save_trace(dir + "/t.bin", original, save);
+  fs::remove(dir + "/t.bin.shard-002-of-004");
+
+  const std::string msg = expect_error(
+      [&] { load_trace(dir + "/t.bin"); }, ErrorCode::kNotFound);
+  EXPECT_NE(msg.find("shard-002-of-004"), std::string::npos) << msg;
+
+  util::LoadPolicy lenient;
+  lenient.mode = util::LoadMode::kLenient;
+  lenient.max_bad_fraction = 0.5;
+  util::LoadStats first;
+  util::LoadStats second;
+  const Trace a = load_trace(dir + "/t.bin", lenient, &first);
+  const Trace b = load_trace(dir + "/t.bin", lenient, &second);
+  EXPECT_TRUE(traces_equal(a, b));
+  EXPECT_EQ(first.records_seen, 208u);
+  EXPECT_EQ(first.records_quarantined, 52u);  // shard 2: 2 events + 50 samples
+  EXPECT_EQ(first.records_quarantined, second.records_quarantined);
+  EXPECT_FALSE(first.checksum_ok);
+  EXPECT_EQ(a.samples.size(), 150u);
+}
+
+TEST(TraceShard, BitFlippedShardStrictRejectsLenientStable) {
+  const std::string dir = fresh_dir("bitflip");
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save.shards = 4;
+  save_trace(dir + "/t.bin", make_trace(8, 200), save);
+  const std::string shard = dir + "/t.bin.shard-001-of-004";
+  std::string content = slurp(shard);
+  content[content.size() / 2] =
+      static_cast<char>(content[content.size() / 2] ^ 0x04);
+  spit(shard, content);
+
+  expect_error([&] { load_trace(dir + "/t.bin"); },
+               ErrorCode::kCorruptArtifact);
+
+  // Lenient tolerates the bad checksum and salvages per record; the damage
+  // hits at most one record, and two loads agree exactly.
+  util::LoadPolicy lenient;
+  lenient.mode = util::LoadMode::kLenient;
+  util::LoadStats first;
+  util::LoadStats second;
+  const Trace a = load_trace(dir + "/t.bin", lenient, &first);
+  const Trace b = load_trace(dir + "/t.bin", lenient, &second);
+  EXPECT_TRUE(traces_equal(a, b));
+  EXPECT_EQ(first.records_seen, 208u);
+  EXPECT_EQ(first.records_seen, second.records_seen);
+  EXPECT_EQ(first.records_quarantined, second.records_quarantined);
+  EXPECT_LE(first.records_quarantined, 1u);
+  EXPECT_FALSE(first.checksum_ok);
+}
+
+TEST(TraceShard, SwappedShardFailsIndexCrossCheckInBothModes) {
+  const std::string dir = fresh_dir("swap");
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save.shards = 2;
+  save_trace(dir + "/t.bin", make_trace(6, 120), save);
+  // Overwrite shard 1 with a *valid* trace artifact that the index never
+  // committed — internal checksums pass, the set-level cross-check must not.
+  SaveOptions single;
+  single.format = TraceFormat::kBinary;
+  save_trace(dir + "/t.bin.shard-001-of-002", make_trace(1, 10), single);
+
+  const std::string msg = expect_error(
+      [&] { load_trace(dir + "/t.bin"); }, ErrorCode::kCorruptArtifact);
+  EXPECT_NE(msg.find("does not match the set index"), std::string::npos)
+      << msg;
+
+  // Lenient cannot per-record-salvage a set-level inconsistency either: the
+  // swapped shard is quarantined whole, with the index's declared counts.
+  util::LoadPolicy lenient;
+  lenient.mode = util::LoadMode::kLenient;
+  lenient.max_bad_fraction = 0.6;
+  util::LoadStats stats;
+  const Trace merged = load_trace(dir + "/t.bin", lenient, &stats);
+  EXPECT_EQ(stats.records_quarantined, 63u);  // 3 events + 60 samples
+  EXPECT_FALSE(stats.checksum_ok);
+  EXPECT_EQ(merged.samples.size(), 60u);
+}
+
+TEST(TraceShard, ShardReadFaultSiteIsDeterministicAcrossJobs) {
+  const std::string dir = fresh_dir("fault");
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save.shards = 4;
+  save_trace(dir + "/t.bin", make_trace(8, 200), save);
+
+  std::string messages[2];
+  for (const int jobs : {1, 4}) {
+    fault::Injector::global().arm(
+        fault::Plan::parse("seed=5,trace.shard.read:fail:0.4"));
+    LoadOptions load;
+    load.jobs = jobs;
+    messages[jobs == 1 ? 0 : 1] = expect_error(
+        [&] { load_trace(dir + "/t.bin", load); }, ErrorCode::kFaultInjected);
+    fault::Injector::global().disarm();
+  }
+  // Stateless draws keyed by shard index: the same shard fails, with the
+  // same message, no matter how the pool schedules the reads.
+  EXPECT_EQ(messages[0], messages[1]);
+  EXPECT_NE(messages[0].find("shard read failure"), std::string::npos)
+      << messages[0];
+}
+
+TEST(TraceShard, ShardWriteFaultLeavesNoIndexBehind) {
+  const std::string dir = fresh_dir("wfault");
+  fault::Injector::global().arm(
+      fault::Plan::parse("seed=11,trace.shard.write:fail:1"));
+  SaveOptions save;
+  save.format = TraceFormat::kBinary;
+  save.shards = 4;
+  bool threw = false;
+  try {
+    save_trace(dir + "/t.bin", make_trace(8, 200), save);
+  } catch (const Error& e) {
+    threw = true;
+    EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+  }
+  fault::Injector::global().disarm();
+  ASSERT_TRUE(threw) << "rate 1 must hit the first shard written";
+  // The index is written last: a failed sharded save must not have
+  // committed one, so loaders can never observe a partial set.
+  EXPECT_FALSE(fs::exists(dir + "/t.bin"));
+}
+
+TEST(TraceShard, RejectsBadShardCounts) {
+  const std::string dir = fresh_dir("badcount");
+  SaveOptions save;
+  save.shards = 0;
+  expect_error([&] { save_trace(dir + "/t.csv", Trace{}, save); },
+               ErrorCode::kUsage);
+  save.shards = kMaxTraceShards + 1;
+  expect_error([&] { save_trace(dir + "/t.csv", Trace{}, save); },
+               ErrorCode::kUsage);
+}
+
+}  // namespace
+}  // namespace drbw::pebs

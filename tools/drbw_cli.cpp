@@ -5,16 +5,31 @@
 //
 //   drbw record   --benchmark NAME [--input I] [--config Tt-Nn]
 //                 [--placement original|interleave|colocate|replicate]
-//                 [--out trace.csv] [--seed N]
+//                 [--out trace.csv] [--seed N] [--format csv|binary]
+//                 [--shards N] [--jobs N]
 //       Run a proxy benchmark on the simulated machine with DR-BW attached
-//       and write the PEBS sample trace + allocation events.
+//       and write the PEBS sample trace + allocation events.  --format
+//       binary writes the compact v3 body (10-100x faster to load);
+//       --shards N splits the trace into N per-worker artifacts behind a
+//       shard-set index at --out, written in parallel across --jobs.
 //
 //   drbw analyze  --trace trace.csv [--model model.json] [--windows N]
+//                 [--jobs N] [--expect-trace-version V]
 //       Offline analysis of a recorded trace: per-channel verdicts,
-//       Contribution Fractions, and optimization advice.  NOTE: offline
-//       page-home lookups need the recording address space, so analyze
-//       re-materializes the benchmark's layout from the trace's allocation
-//       events (bind-to-node-0 fallback for unknown ranges).
+//       Contribution Fractions, and optimization advice.  Sharded sets are
+//       detected from the index header and loaded across --jobs workers
+//       (the merged trace is byte-identical at any value).
+//       --expect-trace-version V rejects artifacts newer than vV with the
+//       version-skew exit code (69).  NOTE: offline page-home lookups need
+//       the recording address space, so analyze re-materializes the
+//       benchmark's layout from the trace's allocation events
+//       (bind-to-node-0 fallback for unknown ranges).
+//
+//   drbw convert  --in trace.csv --out trace.bin [--format csv|binary]
+//                 [--shards N] [--jobs N]
+//       Re-encode a trace artifact: csv <-> binary, shard or unshard.  The
+//       loaded records round-trip exactly, so converting down to csv v2 is
+//       the escape hatch for consumers pinned to the older format.
 //
 //   drbw inspect  --model model.json
 //       Pretty-print a trained model (Fig. 3 style).
@@ -31,10 +46,11 @@
 //       (flight.log) a previous run left in run-dir and print a ranked
 //       diagnosis.  Diagnosing a failed run successfully exits 0.
 //
-//   drbw perf diff <before/run.json> <after/run.json> [--threshold F]
-//       Compare span statistics and metric counters between two run
-//       manifests; exits 3 when any quantity regressed past the threshold
-//       (default 0.25 = +25%), which CI uses as a perf gate.
+//   drbw perf diff <baseline/run.json> <after/run.json>... [--threshold F]
+//       Compare span statistics and metric counters between run manifests:
+//       the first is the baseline, every following manifest is diffed
+//       against it.  Exits 3 when any comparison regressed past the
+//       threshold (default 0.25 = +25%), which CI uses as a perf gate.
 //
 // train/record/analyze additionally accept --trace-out FILE (Chrome
 // trace_event JSON), --metrics-out FILE (.json => JSON, else Prometheus
@@ -121,9 +137,10 @@ struct RunSession {
     parser.add_option(
         "inject-faults",
         "deterministic fault spec: seed=N,site:kind:rate,... (sites: "
-        "pebs.sample, engine.epoch, trace.read, trace.write, model.write, "
-        "artifact.write, diagnose.cf, report.render; kinds: drop, corrupt, "
-        "truncate, malform, short-write, fail)",
+        "pebs.sample, engine.epoch, trace.read, trace.write, "
+        "trace.shard.read, trace.shard.write, model.write, artifact.write, "
+        "diagnose.cf, report.render; kinds: drop, corrupt, truncate, "
+        "malform, short-write, fail)",
         "");
     parser.add_option("run-dir",
                       "directory for the run manifest (run.json) and flight "
@@ -379,6 +396,18 @@ int cmd_record(int argc, char** argv) {
   parser.add_option("placement", "placement mode", "original");
   parser.add_option("out", "trace output path", "drbw_trace.csv");
   parser.add_option("seed", "run seed", "7");
+  parser.add_option("format",
+                    "trace body encoding: csv (v2, greppable) | binary "
+                    "(v3, 10-100x faster to load)",
+                    "csv");
+  parser.add_option("shards",
+                    "split the trace into N artifacts behind a shard-set "
+                    "index at --out (1 = single file)",
+                    "1");
+  parser.add_option("jobs",
+                    "parallel shard writers (0 = one per hardware thread); "
+                    "the written set is identical at any value",
+                    "1");
   RunSession::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   RunSession session("record", parser);
@@ -399,12 +428,32 @@ int cmd_record(int argc, char** argv) {
     const auto run = workloads::execute(machine, space, built, engine);
 
     session.stage("persist");
-    pebs::save_trace(parser.option("out"), {run.alloc_events, run.samples});
-    session.note_output("trace-out", parser.option("out"));
+    pebs::SaveOptions save;
+    save.format = pebs::trace_format_from_name(parser.option("format"));
+    const long long shards = parser.option_int("shards");
+    if (shards < 1 ||
+        shards > static_cast<long long>(pebs::kMaxTraceShards)) {
+      throw UsageError("--shards must be between 1 and " +
+                       std::to_string(pebs::kMaxTraceShards) + ", got '" +
+                       parser.option("shards") + "'");
+    }
+    save.shards = static_cast<std::size_t>(shards);
+    save.jobs = static_cast<int>(parser.option_int("jobs"));
+    const std::vector<std::string> written = pebs::save_trace(
+        parser.option("out"), {run.alloc_events, run.samples}, save);
+    session.note_output("trace-out", written.front());
+    for (std::size_t i = 1; i < written.size(); ++i) {
+      session.note_output("trace-shard-out", written[i]);
+    }
     std::cout << "recorded " << run.samples.size() << " samples over "
               << format_count(run.total_accesses) << " accesses ("
               << format_fixed(run.seconds(machine) * 1e3, 2)
-              << " ms simulated) -> " << parser.option("out") << '\n';
+              << " ms simulated) -> " << parser.option("out") << " ("
+              << parser.option("format");
+    if (written.size() > 1) {
+      std::cout << ", " << written.size() - 1 << " shards";
+    }
+    std::cout << ")\n";
     return session.finish(0);
   } catch (const Error& e) {
     return session.fail(e);
@@ -455,6 +504,15 @@ int cmd_analyze(int argc, char** argv) {
                     "lenient only: tolerated quarantined/seen record "
                     "fraction before the load fails as corrupt",
                     "0.25");
+  parser.add_option("jobs",
+                    "parallel shard readers for sharded traces (0 = one per "
+                    "hardware thread); the merged trace is identical at any "
+                    "value",
+                    "1");
+  parser.add_option("expect-trace-version",
+                    "reject trace artifacts newer than vN with the "
+                    "version-skew exit code (0 = newest supported)",
+                    "0");
   RunSession::add_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   RunSession session("analyze", parser);
@@ -468,13 +526,31 @@ int cmd_analyze(int argc, char** argv) {
     } catch (const Error& e) {
       throw UsageError(std::string("--load-mode: ") + e.what());
     }
+    pebs::LoadOptions load;
+    load.policy = policy;
+    load.jobs = static_cast<int>(parser.option_int("jobs"));
+    const long long expect = parser.option_int("expect-trace-version");
+    if (expect < 0 || expect > pebs::kTraceVersion) {
+      throw UsageError("--expect-trace-version must be between 0 and " +
+                       std::to_string(pebs::kTraceVersion) + ", got '" +
+                       parser.option("expect-trace-version") + "'");
+    }
+    if (expect > 0) load.max_version = static_cast<int>(expect);
     // Fail fast on missing inputs (exit 66 with a sibling hint) before any
     // model training or trace parsing happens.
     util::require_input_file(parser.option("trace"), "trace file");
     if (!parser.option("model").empty()) {
       util::require_input_file(parser.option("model"), "model file");
     }
-    session.note_input("trace-in", parser.option("trace"));
+    // A sharded trace is many artifacts; the manifest lists the index first
+    // and then every shard, each content-identified, so provenance covers
+    // the whole set (and the listing is index-ordered, hence golden).
+    const std::vector<std::string> trace_files =
+        pebs::trace_artifact_paths(parser.option("trace"));
+    session.note_input("trace-in", trace_files.front());
+    for (std::size_t i = 1; i < trace_files.size(); ++i) {
+      session.note_input("trace-shard-in", trace_files[i]);
+    }
 
     const auto machine = topology::Machine::xeon_e5_4650();
     // load_trace fills the stats incrementally, so record them in the
@@ -483,7 +559,7 @@ int cmd_analyze(int argc, char** argv) {
     util::LoadStats load_stats;
     pebs::Trace trace;
     try {
-      trace = pebs::load_trace(parser.option("trace"), policy, &load_stats);
+      trace = pebs::load_trace(parser.option("trace"), load, &load_stats);
     } catch (...) {
       session.set_load_stats(load_stats);
       throw;
@@ -634,6 +710,69 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
+int cmd_convert(int argc, char** argv) {
+  ArgParser parser("drbw convert",
+                   "Re-encode a trace artifact (csv <-> binary, shard or "
+                   "unshard)");
+  parser.add_option("in", "trace to convert (any supported version)",
+                    "drbw_trace.csv");
+  parser.add_option("out", "converted trace output path", "drbw_trace.bin");
+  parser.add_option("format", "output body encoding: csv | binary", "binary");
+  parser.add_option("shards",
+                    "split the output into N artifacts behind a shard-set "
+                    "index at --out (1 = single file)",
+                    "1");
+  parser.add_option("jobs",
+                    "parallel shard readers/writers (0 = one per hardware "
+                    "thread)",
+                    "1");
+  parser.add_option("load-mode", "strict | lenient (see drbw analyze)",
+                    "strict");
+  parser.add_option("max-bad-fraction",
+                    "lenient only: tolerated quarantined/seen record "
+                    "fraction before the load fails as corrupt",
+                    "0.25");
+  if (!parser.parse(argc, argv)) return 0;
+  pebs::LoadOptions load;
+  try {
+    load.policy = util::load_policy_from_name(
+        parser.option("load-mode"), parser.option_double("max-bad-fraction"));
+  } catch (const Error& e) {
+    throw UsageError(std::string("--load-mode: ") + e.what());
+  }
+  load.jobs = static_cast<int>(parser.option_int("jobs"));
+  pebs::SaveOptions save;
+  save.format = pebs::trace_format_from_name(parser.option("format"));
+  const long long shards = parser.option_int("shards");
+  if (shards < 1 || shards > static_cast<long long>(pebs::kMaxTraceShards)) {
+    throw UsageError("--shards must be between 1 and " +
+                     std::to_string(pebs::kMaxTraceShards) + ", got '" +
+                     parser.option("shards") + "'");
+  }
+  save.shards = static_cast<std::size_t>(shards);
+  save.jobs = load.jobs;
+  util::require_input_file(parser.option("in"), "trace file");
+  util::LoadStats stats;
+  const pebs::Trace trace =
+      pebs::load_trace(parser.option("in"), load, &stats);
+  const std::vector<std::string> written =
+      pebs::save_trace(parser.option("out"), trace, save);
+  std::cout << "converted " << trace.samples.size() << " samples, "
+            << trace.events.size() << " allocation events -> "
+            << parser.option("out") << " (" << parser.option("format");
+  if (written.size() > 1) {
+    std::cout << ", " << written.size() - 1 << " shards";
+  }
+  std::cout << ")";
+  if (stats.records_quarantined > 0 || !stats.checksum_ok) {
+    std::cout << " [" << stats.records_quarantined << " of "
+              << stats.records_seen << " input records quarantined"
+              << (stats.checksum_ok ? "" : ", input checksum FAILED") << "]";
+  }
+  std::cout << '\n';
+  return 0;
+}
+
 int cmd_inspect(int argc, char** argv) {
   ArgParser parser("drbw inspect", "Pretty-print a trained model");
   parser.add_option("model", "model path", "drbw_model.json");
@@ -708,10 +847,12 @@ int cmd_doctor(int argc, char** argv) {
 
 int cmd_perf_diff(int argc, char** argv) {
   const char* usage =
-      "drbw perf diff <before/run.json> <after/run.json> [--threshold F]\n"
+      "drbw perf diff <baseline/run.json> <after/run.json>... "
+      "[--threshold F]\n"
       "\n"
-      "Compares span statistics and metric counters between two run\n"
-      "manifests.  Exits 3 when any quantity grew past before*(1+F)\n"
+      "Compares span statistics and metric counters between run manifests:\n"
+      "the first is the baseline, and every following manifest is diffed\n"
+      "against it.  Exits 3 when any comparison grew past baseline*(1+F)\n"
       "(default F = 0.25); CI uses this as a perf gate.\n";
   std::vector<std::string> manifests;
   double threshold = 0.25;
@@ -745,23 +886,32 @@ int cmd_perf_diff(int argc, char** argv) {
     }
     manifests.push_back(arg);
   }
-  if (manifests.size() != 2) {
-    throw UsageError("drbw perf diff expects exactly two run manifests");
+  if (manifests.size() < 2) {
+    throw UsageError(
+        "drbw perf diff expects a baseline and at least one comparison "
+        "manifest");
   }
   const report::ManifestData before = report::load_manifest(manifests[0]);
-  const report::ManifestData after = report::load_manifest(manifests[1]);
-  const report::PerfDiff diff = report::perf_diff(before, after, threshold);
-  std::cout << report::render_perf_diff(diff);
-  return diff.regressed ? kExitPerfRegression : 0;
+  bool any_regressed = false;
+  for (std::size_t i = 1; i < manifests.size(); ++i) {
+    const report::ManifestData after = report::load_manifest(manifests[i]);
+    const report::PerfDiff diff = report::perf_diff(before, after, threshold);
+    if (manifests.size() > 2) {
+      std::cout << "== " << manifests[0] << " vs " << manifests[i] << " ==\n";
+    }
+    std::cout << report::render_perf_diff(diff);
+    any_regressed = any_regressed || diff.regressed;
+  }
+  return any_regressed ? kExitPerfRegression : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: drbw <train|record|analyze|inspect|topology|stats|doctor> "
-      "[options]\n"
-      "       drbw perf diff <before/run.json> <after/run.json>\n"
+      "usage: drbw <train|record|analyze|convert|inspect|topology|stats|"
+      "doctor> [options]\n"
+      "       drbw perf diff <baseline/run.json> <after/run.json>...\n"
       "       drbw <subcommand> --help for details\n";
   if (argc < 2) {
     std::cout << usage;
@@ -772,6 +922,7 @@ int main(int argc, char** argv) {
     if (sub == "train") return cmd_train(argc - 1, argv + 1);
     if (sub == "record") return cmd_record(argc - 1, argv + 1);
     if (sub == "analyze") return cmd_analyze(argc - 1, argv + 1);
+    if (sub == "convert") return cmd_convert(argc - 1, argv + 1);
     if (sub == "inspect") return cmd_inspect(argc - 1, argv + 1);
     if (sub == "topology") return cmd_topology(argc - 1, argv + 1);
     if (sub == "stats") return cmd_stats(argc - 1, argv + 1);
