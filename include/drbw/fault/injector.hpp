@@ -75,8 +75,11 @@ struct SiteSpec {
 ///   clause := 'seed=' uint64
 ///           | site ':' kind ':' rate
 ///   site   := dotted identifier   (pebs.sample, engine.epoch, trace.read,
-///                                  trace.write, model.write, artifact.write,
-///                                  diagnose.cf, report.render)
+///                                  trace.write, trace.shard.read,
+///                                  trace.shard.write, model.write,
+///                                  artifact.write, diagnose.cf,
+///                                  report.render — the full list is the
+///                                  registry: tools/analyze/registry.json)
 ///   kind   := drop | corrupt | truncate | malform | short-write | fail
 ///   rate   := decimal in [0, 1]
 ///

@@ -1,0 +1,4 @@
+// Fixture: the higher-layer target of the back-edge.
+#pragma once
+
+inline int fixture_y() { return 2; }

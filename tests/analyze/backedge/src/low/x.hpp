@@ -1,0 +1,5 @@
+// Fixture: a lower layer reaching upward — the canonical back-edge.
+#pragma once
+#include "../high/y.hpp"
+
+inline int fixture_x() { return fixture_y() - 1; }

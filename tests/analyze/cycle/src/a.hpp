@@ -1,0 +1,5 @@
+// Fixture: member of the include cycle a -> b -> c -> a.
+#pragma once
+#include "b.hpp"
+
+inline int fixture_a() { return fixture_b() + 1; }

@@ -1,0 +1,5 @@
+// Fixture: member of the include cycle a -> b -> c -> a.
+#pragma once
+#include "c.hpp"
+
+inline int fixture_b() { return fixture_c() + 1; }

@@ -1,0 +1,5 @@
+// Fixture: member of the include cycle a -> b -> c -> a.
+#pragma once
+#include "a.hpp"
+
+inline int fixture_c() { return 0; }

@@ -1,0 +1,23 @@
+// Fixture error taxonomy: exit code 99 is returned here but missing from
+// registry.json; token "mystery-token" is likewise unregistered.
+#pragma once
+
+namespace fixture {
+
+enum class ErrorCode { kUsage, kWeird };
+
+inline int exit_code_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUsage: return 64;
+    case ErrorCode::kWeird: return 99;
+  }
+}
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUsage: return "usage";
+    case ErrorCode::kWeird: return "mystery-token";
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture emission sites: one registered fault site, one rogue.
+#include "drbw/util/error.hpp"
+
+namespace fixture {
+
+bool should_inject(const char* site);
+
+void emit() {
+  if (should_inject("site.real")) {
+    // registered, but no test covers it -> untested-name
+  }
+  if (should_inject("site.rogue")) {
+    // emitted but absent from registry.json -> unregistered-name
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,4 @@
+// Fixture: bottom layer — anyone above may include this.
+#pragma once
+
+inline int fixture_base() { return 1; }

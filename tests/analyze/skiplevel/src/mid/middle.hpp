@@ -1,0 +1,5 @@
+// Fixture: middle layer, depends downward only.
+#pragma once
+#include "../bottom/base.hpp"
+
+inline int fixture_middle() { return fixture_base() + 1; }

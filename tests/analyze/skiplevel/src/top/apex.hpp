@@ -1,0 +1,6 @@
+// Fixture: top layer including the *bottom* layer directly — skipping the
+// middle layer is legal; only upward edges are violations.
+#pragma once
+#include "../bottom/base.hpp"
+
+inline int fixture_apex() { return fixture_base() + 10; }

@@ -1,0 +1,605 @@
+// Tests for drbw_analyze (tools/analyze): the layer-DAG pass against the
+// fixture mini-trees under tests/analyze/, the registry cross-check against
+// a fixture registry plus hand-built extractions, the determinism dataflow
+// rules against in-memory models, and the reporting pipeline (allow-comment
+// escape hatch, baseline split, stale detection, SARIF output).
+//
+// Fixture trees (DRBW_ANALYZE_FIXTURE_DIR) are lexed but never compiled —
+// they exist so every rule provably fires with the exact expected chain,
+// subject, and fingerprint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze_model.hpp"
+#include "analyze_passes.hpp"
+#include "analyze_report.hpp"
+#include "drbw/util/error.hpp"
+#include "drbw/util/json.hpp"
+
+namespace drbw::analyze {
+namespace {
+
+const std::string kFixtureDir = DRBW_ANALYZE_FIXTURE_DIR;
+
+/// Builds an in-memory model from (rel path, source) pairs — the dataflow
+/// and reporting tests do not need files on disk.
+Model make_model(const std::vector<std::pair<std::string, std::string>>& tus) {
+  Model model;
+  for (const auto& [rel, source] : tus) {
+    Tu tu;
+    tu.rel = rel;
+    tu.layer = 0;
+    tu.lex = lex(source);
+    model.by_rel.emplace(rel, model.tus.size());
+    model.tus.push_back(std::move(tu));
+  }
+  return model;
+}
+
+const Finding* find_rule(const std::vector<Finding>& findings,
+                         std::string_view rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings,
+                       std::string_view rule) {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+bool has_fingerprint(const std::vector<Finding>& findings,
+                     std::string_view fingerprint) {
+  for (const Finding& f : findings) {
+    if (f.fingerprint == fingerprint) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ lexer model
+
+TEST(AnalyzeModelTest, LexBlanksLiteralsAndHarvests) {
+  const Lexed lexed = lex(
+      "#include \"drbw/util/error.hpp\"\n"
+      "#include <vector>\n"
+      "// drbw-analyze: allow(unordered-flow) keys sorted two lines up\n"
+      "const char* raw = R\"(not \"code\")\";\n"
+      "int big = 6'000'000; // digit separators stay one number\n"
+      "const char* name = \"site.alpha\";\n");
+  ASSERT_EQ(lexed.includes.size(), 2u);
+  EXPECT_EQ(lexed.includes[0].path, "drbw/util/error.hpp");
+  EXPECT_FALSE(lexed.includes[0].angled);
+  EXPECT_TRUE(lexed.includes[1].angled);
+  ASSERT_EQ(lexed.allows.size(), 1u);
+  EXPECT_EQ(lexed.allows[0].rule, "unordered-flow");
+  EXPECT_EQ(lexed.allows[0].reason, "keys sorted two lines up");
+  EXPECT_EQ(lexed.allows[0].line, 3u);
+  // The raw string's body and comments are blanked out of the token stream.
+  EXPECT_EQ(lexed.blanked.find("not"), std::string::npos);
+  EXPECT_EQ(lexed.blanked.find("separators"), std::string::npos);
+  bool saw_name_literal = false;
+  for (const Literal& lit : lexed.literals) {
+    if (lit.text == "site.alpha") saw_name_literal = true;
+  }
+  EXPECT_TRUE(saw_name_literal);
+  // 6'000'000 must lex as one number token, not three.
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "000");
+  }
+}
+
+// -------------------------------------------------------------- layer DAG
+
+TEST(AnalyzeLayersTest, CycleFixtureReportsCanonicalChain) {
+  const std::string root = kFixtureDir + "/cycle";
+  const LayerSpec spec = LayerSpec::load(root + "/layers.json");
+  const Model model = load_tree(root, {"src"}, spec);
+  ASSERT_EQ(model.tus.size(), 3u);
+
+  const LayerResult result = check_layers(model, spec);
+  ASSERT_EQ(result.findings.size(), 1u);
+  const Finding& f = result.findings[0];
+  EXPECT_EQ(f.rule, "include-cycle");
+  EXPECT_EQ(f.file, "src/a.hpp");  // anchored at the smallest member
+  const std::string chain =
+      "src/a.hpp -> src/b.hpp -> src/c.hpp -> src/a.hpp";
+  EXPECT_EQ(f.fingerprint, "include-cycle|src/a.hpp|" + chain);
+  EXPECT_NE(f.message.find(chain), std::string::npos);
+}
+
+TEST(AnalyzeLayersTest, BackEdgeFixtureReportsRuleAndSubject) {
+  const std::string root = kFixtureDir + "/backedge";
+  const LayerSpec spec = LayerSpec::load(root + "/layers.json");
+  const Model model = load_tree(root, {"src"}, spec);
+
+  const LayerResult result = check_layers(model, spec);
+  ASSERT_EQ(result.findings.size(), 1u);
+  const Finding& f = result.findings[0];
+  EXPECT_EQ(f.rule, "layer-back-edge");
+  EXPECT_EQ(f.file, "src/low/x.hpp");
+  EXPECT_EQ(f.line, 3u);  // the #include line
+  EXPECT_EQ(f.fingerprint, "layer-back-edge|src/low/x.hpp|src/high/y.hpp");
+  EXPECT_NE(f.message.find("layer 'low', rank 0"), std::string::npos);
+  EXPECT_NE(f.message.find("layer 'high', rank 1"), std::string::npos);
+  EXPECT_NE(f.message.find("src/low/x.hpp -> src/high/y.hpp"),
+            std::string::npos);
+
+  // The observed layer edge feeds the DOT diagram, marked red as a back-edge.
+  ASSERT_EQ(result.layer_edges.size(), 1u);
+  EXPECT_EQ(result.layer_edges[0].first, "low");
+  EXPECT_EQ(result.layer_edges[0].second, "high");
+  const std::string dot = layer_dot(result, spec);
+  EXPECT_NE(dot.find("\"low\" -> \"high\" [color=red, label=\"back-edge\"]"),
+            std::string::npos);
+}
+
+TEST(AnalyzeLayersTest, BlessedExceptionSuppressesBackEdge) {
+  const std::string root = kFixtureDir + "/backedge";
+  const LayerSpec spec = LayerSpec::parse(
+      R"({"layers": [{"name": "low", "paths": ["src/low/"]},
+                     {"name": "high", "paths": ["src/high/"]}],
+          "exceptions": [{"from": "src/low/x.hpp", "to": "src/high/",
+                          "reason": "fixture: blessed for the test"}]})",
+      "inline");
+  const Model model = load_tree(root, {"src"}, spec);
+  const LayerResult result = check_layers(model, spec);
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(AnalyzeLayersTest, ExceptionWithoutReasonIsRejected) {
+  try {
+    LayerSpec::parse(
+        R"({"layers": [{"name": "a", "paths": ["src/"]}],
+            "exceptions": [{"from": "x", "to": "y", "reason": "  "}]})",
+        "inline");
+    FAIL() << "expected kParse";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+  }
+}
+
+TEST(AnalyzeLayersTest, SkipLevelIncludeIsLegal) {
+  const std::string root = kFixtureDir + "/skiplevel";
+  const LayerSpec spec = LayerSpec::load(root + "/layers.json");
+  const Model model = load_tree(root, {"src"}, spec);
+  ASSERT_EQ(model.tus.size(), 3u);
+
+  const LayerResult result = check_layers(model, spec);
+  EXPECT_TRUE(result.findings.empty());  // top -> bottom skips mid: fine
+  // Both downward edges observed, none marked as back-edges in the DOT.
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"mid", "bottom"}, {"top", "bottom"}};
+  EXPECT_EQ(result.layer_edges, expected);
+  const std::string dot = layer_dot(result, spec);
+  EXPECT_EQ(dot.find("back-edge"), std::string::npos);
+  EXPECT_NE(dot.find("\"bottom\" [label=\"bottom (rank 0)\"]"),
+            std::string::npos);
+}
+
+TEST(AnalyzeLayersTest, UnmappedFileIsFlagged) {
+  // A spec whose only layer claims src/low/ leaves src/high/y.hpp unmapped.
+  const std::string root = kFixtureDir + "/backedge";
+  const LayerSpec spec = LayerSpec::parse(
+      R"({"layers": [{"name": "low", "paths": ["src/low/"]}]})", "inline");
+  const Model model = load_tree(root, {"src"}, spec);
+  const LayerResult result = check_layers(model, spec);
+  const Finding* f = find_rule(result.findings, "unmapped-file");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, "src/high/y.hpp");
+  EXPECT_EQ(f->fingerprint, "unmapped-file|src/high/y.hpp|src/high/y.hpp");
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(AnalyzeRegistryTest, FixtureTreeCrossCheck) {
+  const std::string root = kFixtureDir + "/registry";
+  const LayerSpec spec = LayerSpec::load(root + "/layers.json");
+  const Model model = load_tree(root, {"include", "src"}, spec);
+  const Registry registry = Registry::load(root + "/registry.json");
+  const Extraction extraction = extract_names(model);
+
+  RegistryContext context;  // empty coverage: nothing is tested
+  const std::vector<Finding> findings =
+      check_registry(registry, extraction, context);
+
+  EXPECT_TRUE(has_fingerprint(
+      findings, "unregistered-name|src/emit.cpp|fault_sites:site.rogue"));
+  EXPECT_TRUE(has_fingerprint(findings,
+                              "dead-registry-entry|tools/analyze/"
+                              "registry.json|fault_sites:site.dead"));
+  EXPECT_TRUE(has_fingerprint(
+      findings, "untested-name|src/emit.cpp|fault_sites:site.real"));
+  EXPECT_TRUE(has_fingerprint(findings,
+                              "unregistered-name|include/drbw/util/"
+                              "error.hpp|error_tokens:mystery-token"));
+  // exit_code_for returns 99 (unregistered) and never returns 77
+  // (registered as error.hpp-sourced).
+  EXPECT_TRUE(has_fingerprint(
+      findings, "exit-code-drift|include/drbw/util/error.hpp|code:99"));
+  EXPECT_TRUE(has_fingerprint(
+      findings, "exit-code-drift|tools/analyze/registry.json|code:77"));
+  // "usage" is registered, emitted, and error tokens need no coverage — and
+  // exit code 64 agrees everywhere; nothing else may fire.
+  EXPECT_EQ(findings.size(), 6u);
+
+  // Naming site.real in the coverage text clears the untested finding.
+  RegistryContext covered;
+  covered.coverage_text = "EXPECT_THROW(arm(\"site.real\"), ...)";
+  const std::vector<Finding> after =
+      check_registry(registry, extraction, covered);
+  EXPECT_FALSE(has_fingerprint(
+      after, "untested-name|src/emit.cpp|fault_sites:site.real"));
+  EXPECT_EQ(after.size(), 5u);
+}
+
+TEST(AnalyzeRegistryTest, ExtractNamesFindsEveryCallShape) {
+  const Model model = make_model({{"src/x.cpp", R"cpp(
+#include "drbw/obs/metrics.hpp"
+void run(Session& session, const std::string& dynamic_name) {
+  obs::Span span("alpha");
+  obs::Span("beta");
+  obs::Span ignored(dynamic_name);
+  registry().counter("drbw_x_total", 1);
+  obs::Trace::instance().counter("epoch", 1);
+  if (fault::maybe_fail("site.a", 0)) return;
+  util::write_versioned_artifact(out_path, Kind::kModel, 3, body,
+                                 "model.write");
+  session.stage("build");
+}
+)cpp"}});
+  const Extraction ex = extract_names(model);
+
+  ASSERT_EQ(ex.spans.size(), 2u);  // the dynamic-name Span must not match
+  EXPECT_EQ(ex.spans[0].name, "alpha");
+  EXPECT_EQ(ex.spans[1].name, "beta");
+  ASSERT_EQ(ex.metrics.size(), 1u);
+  EXPECT_EQ(ex.metrics[0].name, "drbw_x_total");
+  ASSERT_EQ(ex.trace_counters.size(), 1u);  // Trace:: context scanback
+  EXPECT_EQ(ex.trace_counters[0].name, "epoch");
+  ASSERT_EQ(ex.fault_sites.size(), 2u);
+  EXPECT_EQ(ex.fault_sites[0].name, "model.write");  // artifact wrapper
+  EXPECT_EQ(ex.fault_sites[1].name, "site.a");
+  ASSERT_EQ(ex.stages.size(), 1u);
+  EXPECT_EQ(ex.stages[0].name, "build");
+}
+
+TEST(AnalyzeRegistryTest, TestFilesDoNotDefineEmissions) {
+  const Model model = make_model(
+      {{"tests/x_test.cpp", "void f() { obs::Span span(\"ghost\"); }"}});
+  const Extraction ex = extract_names(model);
+  EXPECT_TRUE(ex.spans.empty());
+}
+
+TEST(AnalyzeRegistryTest, ReadmeExitTableDrift) {
+  const Registry registry = Registry::parse(
+      R"({"exit_codes": [{"code": 0, "meaning": "success", "source": "cli"},
+                         {"code": 2, "meaning": "contention", "source": "cli"}]})",
+      "inline");
+  const Extraction empty;
+
+  // The generated table round-trips with zero findings.
+  RegistryContext ok;
+  ok.readme_text = "## Exit codes\n\n" + exit_table_markdown(registry);
+  EXPECT_TRUE(check_registry(registry, empty, ok).empty());
+
+  // A drifted meaning, a missing row, and an unknown row each fire.
+  RegistryContext drifted;
+  drifted.readme_text =
+      "| code | meaning |\n|------|---------|\n"
+      "| 0 | succès |\n| 7 | mystery |\n";
+  const std::vector<Finding> findings =
+      check_registry(registry, empty, drifted);
+  EXPECT_TRUE(has_fingerprint(findings, "exit-code-drift|README.md|readme:0"));
+  EXPECT_TRUE(has_fingerprint(findings, "exit-code-drift|README.md|readme:2"));
+  EXPECT_TRUE(has_fingerprint(findings, "exit-code-drift|README.md|readme:7"));
+  EXPECT_EQ(count_rule(findings, "exit-code-drift"), 3u);
+
+  // No recognizable table at all is its own finding.
+  RegistryContext absent;
+  absent.readme_text = "nothing tabular here";
+  EXPECT_TRUE(has_fingerprint(check_registry(registry, empty, absent),
+                              "exit-code-drift|README.md|readme:no-table"));
+}
+
+TEST(AnalyzeRegistryTest, DoctorAdviceMustBeHandled) {
+  const Registry registry = Registry::parse(
+      R"({"error_tokens": [{"name": "generic"},
+                           {"name": "io-error", "doctor_advice": true}]})",
+      "inline");
+  Extraction ex;
+  ex.error_tokens.push_back({"generic", "include/drbw/util/error.hpp", 5});
+  ex.error_tokens.push_back({"io-error", "include/drbw/util/error.hpp", 6});
+
+  RegistryContext handled;
+  handled.postmortem_text = "if (m.error_code == \"io-error\") { ... }";
+  EXPECT_TRUE(check_registry(registry, ex, handled).empty());
+
+  RegistryContext missing;
+  missing.postmortem_text = "doctor() has no branches yet";
+  const std::vector<Finding> findings = check_registry(registry, ex, missing);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].fingerprint,
+            "exit-code-drift|src/report/postmortem.cpp|doctor:io-error");
+}
+
+TEST(AnalyzeRegistryTest, ExitTableMarkdownIsSortedByCode) {
+  const Registry registry = Registry::parse(
+      R"({"exit_codes": [{"code": 74, "meaning": "io", "source": "error.hpp"},
+                         {"code": 1, "meaning": "generic", "source": "error.hpp"}]})",
+      "inline");
+  EXPECT_EQ(exit_table_markdown(registry),
+            "| code | meaning |\n|------|---------|\n"
+            "| 1 | generic |\n| 74 | io |\n");
+}
+
+// --------------------------------------------------------------- dataflow
+
+TEST(AnalyzeDataflowTest, EmitInsideUnorderedIterationFires) {
+  const Model model = make_model({{"src/r.cpp", R"cpp(
+void report(std::ostream& os) {
+  std::unordered_map<std::string, int> totals;
+  for (const auto& kv : totals) {
+    out.write(kv.first);
+  }
+  for (const auto& kv : totals) {
+    os << kv.first;
+  }
+}
+)cpp"}});
+  const std::vector<Finding> findings = check_dataflow(model);
+  EXPECT_TRUE(has_fingerprint(findings, "unordered-flow|src/r.cpp|totals:write"));
+  EXPECT_TRUE(has_fingerprint(findings, "unordered-flow|src/r.cpp|totals:<<"));
+  EXPECT_EQ(count_rule(findings, "unordered-flow"), 2u);
+}
+
+TEST(AnalyzeDataflowTest, TaintedCarrierReachingEmitterFires) {
+  const Model model = make_model({{"src/t.cpp", R"cpp(
+void collect() {
+  std::unordered_set<std::string> names;
+  std::vector<std::string> rows;
+  for (const auto& n : names) {
+    rows.push_back(n);
+  }
+  render(rows);
+}
+)cpp"}});
+  const std::vector<Finding> findings = check_dataflow(model);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].fingerprint, "unordered-flow|src/t.cpp|rows:render");
+  EXPECT_NE(findings[0].message.find("unsorted"), std::string::npos);
+}
+
+TEST(AnalyzeDataflowTest, SortLaundersTheTaint) {
+  const Model model = make_model({{"src/s.cpp", R"cpp(
+void collect() {
+  std::unordered_set<std::string> names;
+  std::vector<std::string> rows;
+  for (const auto& n : names) {
+    rows.push_back(n);
+  }
+  std::sort(rows.begin(), rows.end());
+  render(rows);
+}
+)cpp"}});
+  EXPECT_TRUE(check_dataflow(model).empty());
+}
+
+TEST(AnalyzeDataflowTest, MutableGlobalOutsideObsAndFaultFires) {
+  const std::string source = R"cpp(
+namespace demo {
+int g_hits = 0;
+const int kLimit = 3;
+constexpr double kRate = 0.5;
+std::mutex g_mu;
+int helper(int x) { return x + 1; }
+}
+)cpp";
+  const std::vector<Finding> findings =
+      check_dataflow(make_model({{"src/core/g.cpp", source}}));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].fingerprint,
+            "mutable-global-state|src/core/g.cpp|g_hits");
+
+  // The obs/ and fault/ layers own their process-wide singletons.
+  EXPECT_TRUE(check_dataflow(make_model({{"src/obs/g.cpp", source}})).empty());
+  EXPECT_TRUE(
+      check_dataflow(make_model({{"src/fault/g.cpp", source}})).empty());
+  // Tests may do what they like.
+  EXPECT_TRUE(
+      check_dataflow(make_model({{"tests/g_test.cpp", source}})).empty());
+}
+
+TEST(AnalyzeDataflowTest, ParallelEmitWithoutTrackFires) {
+  const Model model = make_model({{"src/p.cpp", R"cpp(
+void fan_out() {
+  std::thread worker([&] {
+    obs::Span span("chunk");
+    crunch();
+  });
+  worker.join();
+}
+)cpp"}});
+  const std::vector<Finding> findings = check_dataflow(model);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].fingerprint,
+            "parallel-emit-no-track|src/p.cpp|thread:Span");
+  EXPECT_NE(findings[0].message.find("TraceTrack"), std::string::npos);
+}
+
+TEST(AnalyzeDataflowTest, TraceTrackInstallSilencesParallelEmit) {
+  const Model model = make_model({{"src/p.cpp", R"cpp(
+void fan_out() {
+  std::thread worker([&] {
+    obs::TraceTrack track(1);
+    obs::Span span("chunk");
+    crunch();
+  });
+  worker.join();
+}
+)cpp"}});
+  EXPECT_TRUE(check_dataflow(model).empty());
+}
+
+// -------------------------------------------------- allow-comment hatch
+
+TEST(AnalyzeReportTest, MeaningfulAllowSuppressesFinding) {
+  const Model model = make_model({{"src/core/g.cpp", R"cpp(
+namespace demo {
+// drbw-analyze: allow(mutable-global-state) legacy cache, burn-down in M3
+int g_cache = 0;
+}
+)cpp"}});
+  const AnalysisResult result =
+      finalize(check_dataflow(model), model, {});
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.fresh.empty());
+}
+
+TEST(AnalyzeReportTest, ReasonlessAllowIsItsOwnFinding) {
+  const Model model = make_model({{"src/core/g.cpp", R"cpp(
+namespace demo {
+// drbw-analyze: allow(mutable-global-state) .
+int g_cache = 0;
+}
+)cpp"}});
+  const AnalysisResult result =
+      finalize(check_dataflow(model), model, {});
+  // The bare allow earns a finding AND the original violation stands.
+  EXPECT_EQ(result.fresh.size(), 2u);
+  EXPECT_TRUE(has_fingerprint(
+      result.fresh, "allow-missing-reason|src/core/g.cpp|"
+                    "allow:mutable-global-state"));
+  EXPECT_TRUE(has_fingerprint(
+      result.fresh, "mutable-global-state|src/core/g.cpp|g_cache"));
+}
+
+TEST(AnalyzeReportTest, AllowForTheWrongRuleDoesNotSuppress) {
+  const Model model = make_model({{"src/core/g.cpp", R"cpp(
+namespace demo {
+// drbw-analyze: allow(unordered-flow) wrong rule named here
+int g_cache = 0;
+}
+)cpp"}});
+  const AnalysisResult result =
+      finalize(check_dataflow(model), model, {});
+  ASSERT_EQ(result.fresh.size(), 1u);
+  EXPECT_EQ(result.fresh[0].rule, "mutable-global-state");
+}
+
+// ------------------------------------------------------ baseline + output
+
+TEST(AnalyzeReportTest, BaselineSplitsAndFlagsStaleEntries) {
+  const Model model = make_model({});
+  std::vector<Finding> findings;
+  findings.push_back(make_finding("unregistered-name", "src/a.cpp", 10,
+                                  "metrics:drbw_new_total", "new metric"));
+  findings.push_back(make_finding("layer-back-edge", "src/b.cpp", 20,
+                                  "src/c.hpp", "old debt"));
+  const std::vector<BaselineEntry> baseline = {
+      {"layer-back-edge|src/b.cpp|src/c.hpp", "blessed since the seed"},
+      {"unordered-flow|src/gone.cpp|m:write", "paid down last PR"},
+  };
+  const AnalysisResult result = finalize(std::move(findings), model, baseline);
+  ASSERT_EQ(result.fresh.size(), 1u);
+  EXPECT_EQ(result.fresh[0].rule, "unregistered-name");
+  ASSERT_EQ(result.suppressed.size(), 1u);
+  EXPECT_EQ(result.suppressed[0].rule, "layer-back-edge");
+  ASSERT_EQ(result.stale.size(), 1u);
+  EXPECT_EQ(result.stale[0].rule, "stale-baseline");
+  EXPECT_NE(result.stale[0].message.find("unordered-flow|src/gone.cpp|m:write"),
+            std::string::npos);
+  EXPECT_FALSE(result.clean());  // fresh or stale both fail the run
+
+  const std::string text = render_text(result);
+  EXPECT_NE(text.find("1 new finding(s), 1 baseline-suppressed"),
+            std::string::npos);
+  EXPECT_NE(text.find("1 stale baseline entry"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+TEST(AnalyzeReportTest, BaselineEntryNeedsReason) {
+  try {
+    parse_baseline(R"({"suppressions": [{"fingerprint": "x|y|z",
+                                         "reason": ""}]})",
+                   "inline");
+    FAIL() << "expected kParse";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+  }
+  EXPECT_TRUE(parse_baseline(R"({})", "inline").empty());
+}
+
+TEST(AnalyzeReportTest, RankingPutsStructuralFindingsFirst) {
+  const Model model = make_model({});
+  std::vector<Finding> findings;
+  findings.push_back(make_finding("untested-name", "src/a.cpp", 1,
+                                  "spans:x", "hygiene"));
+  findings.push_back(make_finding("layer-back-edge", "src/z.cpp", 99,
+                                  "src/a.hpp", "structural"));
+  findings.push_back(make_finding("exit-code-drift", "src/m.cpp", 5,
+                                  "code:9", "contract"));
+  const AnalysisResult result = finalize(std::move(findings), model, {});
+  ASSERT_EQ(result.fresh.size(), 3u);
+  EXPECT_EQ(result.fresh[0].rule, "layer-back-edge");
+  EXPECT_EQ(result.fresh[1].rule, "exit-code-drift");
+  EXPECT_EQ(result.fresh[2].rule, "untested-name");
+}
+
+TEST(AnalyzeReportTest, SarifJsonRoundTrips) {
+  const Model model = make_model({});
+  std::vector<Finding> findings;
+  findings.push_back(make_finding("layer-back-edge", "src/b.cpp", 20,
+                                  "src/c.hpp", "upward include"));
+  const std::vector<BaselineEntry> baseline = {
+      {"stale|fingerprint|here", "long gone"}};
+  const AnalysisResult result = finalize(std::move(findings), model, baseline);
+
+  const Json doc = Json::parse(render_json(result));
+  EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+  const Json& run = doc.at("runs").as_array().at(0);
+  EXPECT_EQ(run.at("tool").at("driver").at("name").as_string(),
+            "drbw_analyze");
+  const JsonArray& results = run.at("results").as_array();
+  ASSERT_EQ(results.size(), 2u);  // the fresh finding + the stale entry
+  EXPECT_EQ(results[0].at("ruleId").as_string(), "layer-back-edge");
+  EXPECT_EQ(results[0].at("level").as_string(), "error");
+  EXPECT_EQ(results[0].at("properties").at("disposition").as_string(),
+            "fresh");
+  EXPECT_EQ(results[0]
+                .at("locations")
+                .as_array()
+                .at(0)
+                .at("physicalLocation")
+                .at("artifactLocation")
+                .at("uri")
+                .as_string(),
+            "src/b.cpp");
+  EXPECT_EQ(results[1].at("ruleId").as_string(), "stale-baseline");
+  EXPECT_EQ(results[1].at("properties").at("disposition").as_string(),
+            "stale");
+  EXPECT_FALSE(run.at("properties").at("clean").as_bool());
+
+  // An empty result still renders a well-formed (empty) results array.
+  const AnalysisResult empty_result = finalize({}, model, {});
+  const Json empty_doc = Json::parse(render_json(empty_result));
+  EXPECT_TRUE(empty_doc.at("runs")
+                  .as_array()
+                  .at(0)
+                  .at("results")
+                  .as_array()
+                  .empty());
+  EXPECT_TRUE(
+      empty_doc.at("runs").as_array().at(0).at("properties").at("clean")
+          .as_bool());
+}
+
+}  // namespace
+}  // namespace drbw::analyze

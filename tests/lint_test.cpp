@@ -84,6 +84,23 @@ TEST(LintPreprocessTest, HarvestsAllowAnnotations) {
   EXPECT_FALSE(s.allows[1].has_reason);
 }
 
+TEST(LintPreprocessTest, TokenReasonsDoNotCountAsJustification) {
+  // "." / "--" / "ok" say nothing — a reason needs at least three
+  // characters with a letter in them.
+  const SourceText s = preprocess(
+      "// drbw-lint: allow(unordered-iter) .\n"
+      "// drbw-lint: allow(unordered-iter) --\n"
+      "// drbw-lint: allow(unordered-iter) ok\n"
+      "// drbw-lint: allow(unordered-iter) 1234\n"
+      "// drbw-lint: allow(unordered-iter) see sort() two lines down\n");
+  ASSERT_EQ(s.allows.size(), 5u);
+  EXPECT_FALSE(s.allows[0].has_reason);
+  EXPECT_FALSE(s.allows[1].has_reason);
+  EXPECT_FALSE(s.allows[2].has_reason);
+  EXPECT_FALSE(s.allows[3].has_reason);
+  EXPECT_TRUE(s.allows[4].has_reason);
+}
+
 TEST(LintRandTest, CatchesRandFamilyCalls) {
   EXPECT_TRUE(has_rule(check("src/sim/engine.cpp", "int x = rand();\n"),
                        "no-rand"));
@@ -218,6 +235,13 @@ TEST(LintUnorderedTest, AllowCommentSuppressesWithReason) {
             "std::unordered_map<int, int> m;\n");
   EXPECT_TRUE(has_rule(findings, "unordered-iter"));
   EXPECT_TRUE(has_rule(findings, "allow-missing-reason"));
+  // A placeholder reason ("." etc.) is rejected the same way.
+  const auto placeholder =
+      check("src/report/markdown.cpp",
+            "// drbw-lint: allow(unordered-iter) .\n"
+            "std::unordered_map<int, int> m;\n");
+  EXPECT_TRUE(has_rule(placeholder, "unordered-iter"));
+  EXPECT_TRUE(has_rule(placeholder, "allow-missing-reason"));
 }
 
 TEST(LintIncludeHygieneTest, HeaderRules) {

@@ -1,0 +1,449 @@
+// Determinism dataflow pass — intra-TU, token-level.
+//
+// Three rules, all about output that must not depend on hash-table order or
+// scheduling:
+//   unordered-flow         — a range-for over an unordered container whose
+//                            body emits (write/save/render/...) directly, or
+//                            pushes into a local that is later passed to an
+//                            emitter without an intervening sort.
+//   mutable-global-state   — a mutable namespace-scope variable outside the
+//                            obs/ and fault/ layers (the two blessed
+//                            process-wide singletons).
+//   parallel-emit-no-track — a lambda handed to std::thread / std::async
+//                            that emits spans or metrics without installing
+//                            an obs::TraceTrack fork key first (TaskPool
+//                            installs one internally; raw threads must too).
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "analyze_passes.hpp"
+#include "drbw/util/strings.hpp"
+
+namespace drbw::analyze {
+namespace {
+
+const char* const kUnorderedTypes[] = {"unordered_map", "unordered_set",
+                                       "unordered_multimap",
+                                       "unordered_multiset"};
+
+/// Identifiers that move data out of the process (or into a report): calling
+/// one inside hash-order iteration makes the output order nondeterministic.
+const char* const kEmitters[] = {"write", "save",  "render", "print",
+                                 "dump",  "emit",  "add_row", "note",
+                                 "counter", "gauge", "histogram"};
+
+bool is_unordered_type(const std::string& text) {
+  for (const char* t : kUnorderedTypes) {
+    if (text == t) return true;
+  }
+  return false;
+}
+
+bool is_emitter(const std::string& text) {
+  for (const char* e : kEmitters) {
+    if (text == e) return true;
+  }
+  return false;
+}
+
+/// Index of the punct token matching tokens[open] ('(' / '{' / '['), or
+/// tokens.size() when unbalanced.
+std::size_t match(const std::vector<Token>& tokens, std::size_t open) {
+  const std::string& open_text = tokens[open].text;
+  const char open_c = open_text[0];
+  const char close_c = open_c == '(' ? ')' : (open_c == '{' ? '}' : ']');
+  int depth = 0;
+  for (std::size_t k = open; k < tokens.size(); ++k) {
+    if (tokens[k].kind != Token::Kind::kPunct) continue;
+    if (tokens[k].text[0] == open_c) ++depth;
+    if (tokens[k].text[0] == close_c && --depth == 0) return k;
+  }
+  return tokens.size();
+}
+
+/// Variable names in this TU declared with an unordered container type
+/// (locals, parameters, members alike — the next identifier after the
+/// closing template angle).
+std::set<std::string> unordered_vars(const std::vector<Token>& tokens) {
+  std::set<std::string> vars;
+  for (std::size_t k = 0; k < tokens.size(); ++k) {
+    if (tokens[k].kind != Token::Kind::kIdent ||
+        !is_unordered_type(tokens[k].text)) {
+      continue;
+    }
+    std::size_t j = k + 1;
+    if (j >= tokens.size() || tokens[j].text != "<") continue;
+    int depth = 0;
+    for (; j < tokens.size(); ++j) {
+      if (tokens[j].kind != Token::Kind::kPunct) continue;
+      if (tokens[j].text[0] == '<') ++depth;
+      if (tokens[j].text[0] == '>' && --depth == 0) break;
+    }
+    // Skip ref/pointer/const decoration, then take the declared name; a name
+    // followed by '(' is a function returning the container, not a variable.
+    for (++j; j < tokens.size(); ++j) {
+      const Token& t = tokens[j];
+      if (t.kind == Token::Kind::kPunct &&
+          (t.text == "&" || t.text == "*")) {
+        continue;
+      }
+      if (t.kind == Token::Kind::kIdent && t.text == "const") continue;
+      break;
+    }
+    if (j + 1 < tokens.size() && tokens[j].kind == Token::Kind::kIdent &&
+        tokens[j + 1].text != "(") {
+      vars.insert(tokens[j].text);
+    }
+  }
+  return vars;
+}
+
+struct RangeFor {
+  std::string range_var;   // the container being iterated
+  std::string loop_var;    // the element binding
+  std::size_t body_begin = 0;  // token index of '{'
+  std::size_t body_end = 0;    // matching '}'
+  std::size_t line = 0;
+};
+
+/// All range-for loops whose range expression names one of `vars`.
+std::vector<RangeFor> unordered_loops(const std::vector<Token>& tokens,
+                                      const std::set<std::string>& vars) {
+  std::vector<RangeFor> loops;
+  for (std::size_t k = 0; k + 1 < tokens.size(); ++k) {
+    if (tokens[k].kind != Token::Kind::kIdent || tokens[k].text != "for" ||
+        tokens[k + 1].text != "(") {
+      continue;
+    }
+    const std::size_t open = k + 1;
+    const std::size_t close = match(tokens, open);
+    if (close >= tokens.size()) continue;
+    // A range-for has a ':' at paren depth 1 (':' from '::' appears as two
+    // adjacent punct tokens — require isolation).
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = open; j <= close; ++j) {
+      if (tokens[j].kind != Token::Kind::kPunct) continue;
+      const char c = tokens[j].text[0];
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ':' && depth == 1) {
+        const bool glued_prev =
+            j > 0 && tokens[j - 1].text == ":" &&
+            tokens[j - 1].pos + 1 == tokens[j].pos;
+        const bool glued_next =
+            j + 1 < tokens.size() && tokens[j + 1].text == ":" &&
+            tokens[j].pos + 1 == tokens[j + 1].pos;
+        if (!glued_prev && !glued_next) {
+          colon = j;
+          break;
+        }
+      }
+    }
+    if (colon == 0) continue;
+    RangeFor loop;
+    loop.line = tokens[k].line;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (tokens[j].kind == Token::Kind::kIdent && vars.count(tokens[j].text)) {
+        loop.range_var = tokens[j].text;
+        break;
+      }
+    }
+    if (loop.range_var.empty()) continue;
+    for (std::size_t j = colon; j-- > open;) {
+      if (tokens[j].kind == Token::Kind::kIdent && tokens[j].text != "const" &&
+          tokens[j].text != "auto") {
+        loop.loop_var = tokens[j].text;
+        break;
+      }
+    }
+    if (close + 1 >= tokens.size() || tokens[close + 1].text != "{") continue;
+    loop.body_begin = close + 1;
+    loop.body_end = match(tokens, loop.body_begin);
+    if (loop.body_end >= tokens.size()) continue;
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+void check_unordered_flow(const Tu& tu, std::vector<Finding>& findings) {
+  const std::vector<Token>& tokens = tu.lex.tokens;
+  const std::set<std::string> vars = unordered_vars(tokens);
+  if (vars.empty()) return;
+
+  // Carrier -> (container it was filled from, fill line).
+  std::map<std::string, std::pair<std::string, std::size_t>> tainted;
+
+  for (const RangeFor& loop : unordered_loops(tokens, vars)) {
+    for (std::size_t j = loop.body_begin + 1; j < loop.body_end; ++j) {
+      const Token& t = tokens[j];
+      if (t.kind != Token::Kind::kIdent || j + 1 >= tokens.size() ||
+          tokens[j + 1].text != "(") {
+        continue;
+      }
+      if (is_emitter(t.text)) {
+        findings.push_back(make_finding(
+            "unordered-flow", tu.rel, t.line,
+            loop.range_var + ":" + t.text,
+            "'" + t.text + "' is called while iterating unordered container "
+            "'" + loop.range_var + "' (range-for at line " +
+                std::to_string(loop.line) +
+                ") — hash order leaks into the output; collect into a "
+                "vector and sort first"));
+      } else if (t.text == "push_back" || t.text == "emplace_back" ||
+                 t.text == "insert") {
+        // `carrier.push_back(...)` — the receiver is two tokens back.
+        if (j >= 2 && tokens[j - 1].text == "." &&
+            tokens[j - 2].kind == Token::Kind::kIdent) {
+          tainted.emplace(tokens[j - 2].text,
+                          std::make_pair(loop.range_var, t.line));
+        }
+      }
+    }
+    // Streaming inside the loop body counts as emission too: two '<' punct
+    // tokens at adjacent byte offsets form `<<`.
+    for (std::size_t j = loop.body_begin + 1; j + 1 < loop.body_end; ++j) {
+      if (tokens[j].text == "<" && tokens[j + 1].text == "<" &&
+          tokens[j].pos + 1 == tokens[j + 1].pos) {
+        findings.push_back(make_finding(
+            "unordered-flow", tu.rel, tokens[j].line,
+            loop.range_var + ":<<",
+            "stream output inside iteration of unordered container '" +
+                loop.range_var + "' (range-for at line " +
+                std::to_string(loop.line) +
+                ") — hash order leaks into the output; collect into a "
+                "vector and sort first"));
+        break;
+      }
+    }
+  }
+
+  if (tainted.empty()) return;
+  // One forward pass: sort(carrier...) launders the taint; an emitter call
+  // whose arguments name a still-tainted carrier is a finding.
+  for (std::size_t k = 0; k + 1 < tokens.size(); ++k) {
+    if (tokens[k].kind != Token::Kind::kIdent || tokens[k + 1].text != "(") {
+      continue;
+    }
+    const std::size_t close = match(tokens, k + 1);
+    if (close >= tokens.size()) continue;
+    const bool is_sort =
+        tokens[k].text == "sort" || tokens[k].text == "stable_sort";
+    const bool is_emit = is_emitter(tokens[k].text);
+    if (!is_sort && !is_emit) continue;
+    for (std::size_t j = k + 2; j < close; ++j) {
+      if (tokens[j].kind != Token::Kind::kIdent) continue;
+      const auto it = tainted.find(tokens[j].text);
+      if (it == tainted.end()) continue;
+      if (is_sort) {
+        tainted.erase(it);
+      } else {
+        findings.push_back(make_finding(
+            "unordered-flow", tu.rel, tokens[k].line,
+            it->first + ":" + tokens[k].text,
+            "'" + it->first + "' was filled from unordered container '" +
+                it->second.first + "' (line " +
+                std::to_string(it->second.second) + ") and reaches '" +
+                tokens[k].text + "' unsorted — sort it before emitting"));
+        tainted.erase(it);
+      }
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------- mutable-global-state
+
+bool is_exempt_layer(const std::string& rel) {
+  return starts_with(rel, "include/drbw/obs") || starts_with(rel, "src/obs") ||
+         starts_with(rel, "include/drbw/fault") ||
+         starts_with(rel, "src/fault");
+}
+
+/// Synchronization primitives are not observable state.
+bool statement_is_sync_primitive(const std::vector<const Token*>& stmt) {
+  for (const Token* t : stmt) {
+    if (t->text == "mutex" || t->text == "once_flag" ||
+        t->text == "condition_variable") {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_globals(const Tu& tu, std::vector<Finding>& findings) {
+  if (is_exempt_layer(tu.rel)) return;
+  const std::vector<Token>& tokens = tu.lex.tokens;
+
+  // Brace classification stack: 'n' namespace, 't' type, 'c' code.
+  std::vector<char> braces;
+  std::vector<const Token*> stmt;  // tokens since last ;/{/} at this level
+
+  const auto at_namespace_scope = [&] {
+    for (const char b : braces) {
+      if (b != 'n') return false;
+    }
+    return true;
+  };
+
+  const auto flag_statement = [&](std::size_t line) {
+    // Needs at least a type and a name.
+    std::size_t idents = 0;
+    for (const Token* t : stmt) {
+      if (t->kind == Token::Kind::kIdent) ++idents;
+    }
+    if (idents < 2) return;
+    static const char* const kSkipKeywords[] = {
+        "using", "typedef", "extern",   "template", "friend",  "operator",
+        "const", "constexpr", "consteval", "constinit", "struct", "class",
+        "enum",  "union",   "namespace", "static_assert", "return"};
+    for (const Token* t : stmt) {
+      for (const char* kw : kSkipKeywords) {
+        if (t->text == kw) return;
+      }
+    }
+    if (statement_is_sync_primitive(stmt)) return;
+    // A '(' before any '=' means a function declaration/definition.
+    for (const Token* t : stmt) {
+      if (t->text == "=") break;
+      if (t->text == "(") return;
+    }
+    // The declared name: last identifier before '=', '{', '[' or end.
+    std::string name;
+    for (const Token* t : stmt) {
+      if (t->text == "=" || t->text == "{" || t->text == "[") break;
+      if (t->kind == Token::Kind::kIdent) name = t->text;
+    }
+    if (name.empty()) return;
+    findings.push_back(make_finding(
+        "mutable-global-state", tu.rel, line, name,
+        "mutable namespace-scope variable '" + name +
+            "' — process-wide mutable state outside obs/ and fault/ makes "
+            "runs order-dependent; make it const/constexpr, or pass it "
+            "explicitly"));
+  };
+
+  for (std::size_t k = 0; k < tokens.size(); ++k) {
+    const Token& t = tokens[k];
+    if (t.kind == Token::Kind::kPunct && t.text == "{") {
+      // Classify by the introducer statement collected so far.
+      char kind = 'c';
+      bool saw_paren = false;
+      for (const Token* s : stmt) {
+        if (s->text == "namespace") kind = 'n';
+        if (s->text == "(") saw_paren = true;
+        if ((s->text == "struct" || s->text == "class" ||
+             s->text == "union" || s->text == "enum") &&
+            !saw_paren) {
+          kind = 't';
+        }
+      }
+      if (kind == 'c' && !saw_paren && at_namespace_scope()) {
+        // `Foo g{...};` — brace-init of a namespace-scope variable.
+        flag_statement(t.line);
+      }
+      braces.push_back(kind);
+      stmt.clear();
+      continue;
+    }
+    if (t.kind == Token::Kind::kPunct && t.text == "}") {
+      if (!braces.empty()) braces.pop_back();
+      stmt.clear();
+      continue;
+    }
+    if (t.kind == Token::Kind::kPunct && t.text == ";") {
+      if (at_namespace_scope() && !stmt.empty()) {
+        // Only initialized (`=`) or plain declarations reach here; brace
+        // inits were handled at '{'.
+        flag_statement(stmt.front()->line);
+      }
+      stmt.clear();
+      continue;
+    }
+    if (at_namespace_scope() || (t.kind == Token::Kind::kPunct &&
+                                 (t.text == "(" || t.text == ")"))) {
+      stmt.push_back(&t);
+    } else if (!braces.empty() && braces.back() != 'n') {
+      // Inside code/type braces we only track enough to classify nested '{'.
+      stmt.push_back(&t);
+    }
+  }
+}
+
+// --------------------------------------------- parallel-emit-no-track
+
+void check_parallel_emit(const Tu& tu, std::vector<Finding>& findings) {
+  const std::vector<Token>& tokens = tu.lex.tokens;
+  for (std::size_t k = 0; k + 1 < tokens.size(); ++k) {
+    const Token& t = tokens[k];
+    if (t.kind != Token::Kind::kIdent ||
+        (t.text != "thread" && t.text != "jthread" && t.text != "async")) {
+      continue;
+    }
+    // Temporary `thread(...)` or named `thread worker(...)` both spawn.
+    std::size_t open = k + 1;
+    if (tokens[open].kind == Token::Kind::kIdent && open + 1 < tokens.size()) {
+      ++open;
+    }
+    if (tokens[open].text != "(") continue;
+    const std::size_t close = match(tokens, open);
+    if (close >= tokens.size()) continue;
+    bool has_track = false;
+    std::string emit_name;
+    std::size_t emit_line = 0;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (tokens[j].kind != Token::Kind::kIdent) continue;
+      if (tokens[j].text == "TraceTrack") has_track = true;
+      if (tokens[j].text == "Span" || tokens[j].text == "counter" ||
+          tokens[j].text == "gauge" || tokens[j].text == "histogram" ||
+          tokens[j].text == "note") {
+        // Direct call `counter(...)`, temporary `Span(...)`, or a named
+        // RAII guard `Span span(...)`.
+        const bool direct = j + 1 < close && tokens[j + 1].text == "(";
+        const bool named = j + 2 < close &&
+                           tokens[j + 1].kind == Token::Kind::kIdent &&
+                           tokens[j + 2].text == "(";
+        if ((direct || named) && emit_name.empty()) {
+          emit_name = tokens[j].text;
+          emit_line = tokens[j].line;
+        }
+      }
+    }
+    if (!emit_name.empty() && !has_track) {
+      findings.push_back(make_finding(
+          "parallel-emit-no-track", tu.rel, emit_line,
+          t.text + ":" + emit_name,
+          "lambda passed to std::" + t.text + " emits via '" + emit_name +
+              "' without installing an obs::TraceTrack fork key — spans and "
+              "metrics from this thread will interleave nondeterministically; "
+              "construct obs::TraceTrack at the top of the lambda (TaskPool "
+              "does this for you)"));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> check_dataflow(const Model& model) {
+  std::vector<Finding> findings;
+  for (const Tu& tu : model.tus) {
+    // The analyzer reasons about the library + tools; tests exercise
+    // nondeterminism on purpose.
+    if (starts_with(tu.rel, "tests/") || starts_with(tu.rel, "bench/")) {
+      continue;
+    }
+    check_unordered_flow(tu, findings);
+    check_globals(tu, findings);
+    check_parallel_emit(tu, findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.fingerprint < b.fingerprint;
+            });
+  return findings;
+}
+
+}  // namespace drbw::analyze

@@ -1,0 +1,205 @@
+// Layer-DAG pass: the include graph vs the committed layer spec.
+//
+// Three rules:
+//   layer-back-edge — a file includes a file in a *higher* layer (rank
+//                     strictly greater than its own).  The finding names
+//                     both layers and ranks; individually blessed edges
+//                     come from layers.json's exceptions list.
+//   include-cycle   — a cycle in the file-level include graph, reported
+//                     with the exact chain (canonicalized to start at the
+//                     lexicographically smallest member, so the report is
+//                     stable under scan order).
+//   unmapped-file   — a scanned file no layer prefix claims; keeps
+//                     layers.json complete as the tree grows.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analyze_passes.hpp"
+
+namespace drbw::analyze {
+
+Finding make_finding(std::string rule, std::string file, std::size_t line,
+                     std::string subject, std::string message) {
+  Finding f;
+  f.fingerprint = rule + "|" + file + "|" + subject;
+  f.rule = std::move(rule);
+  f.file = std::move(file);
+  f.line = line;
+  f.message = std::move(message);
+  return f;
+}
+
+namespace {
+
+struct Graph {
+  // Adjacency: tu index -> (target tu index, include line).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> edges;
+};
+
+Graph build_graph(const Model& model) {
+  Graph g;
+  g.edges.resize(model.tus.size());
+  for (std::size_t i = 0; i < model.tus.size(); ++i) {
+    const Tu& tu = model.tus[i];
+    for (const IncludeDirective& inc : tu.lex.includes) {
+      const std::string target = resolve_include(model, tu, inc);
+      if (target.empty()) continue;
+      const auto it = model.by_rel.find(target);
+      if (it == model.by_rel.end()) continue;
+      g.edges[i].emplace_back(it->second, inc.line);
+    }
+  }
+  return g;
+}
+
+/// Canonical form of a cycle: rotate so the lexicographically smallest
+/// path comes first; the chain text is "a -> b -> c -> a".
+std::string canonical_cycle(const Model& model, std::vector<std::size_t> cycle) {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < cycle.size(); ++k) {
+    if (model.tus[cycle[k]].rel < model.tus[cycle[best]].rel) best = k;
+  }
+  std::rotate(cycle.begin(), cycle.begin() + static_cast<std::ptrdiff_t>(best),
+              cycle.end());
+  std::string chain;
+  for (const std::size_t node : cycle) {
+    chain += model.tus[node].rel;
+    chain += " -> ";
+  }
+  chain += model.tus[cycle.front()].rel;
+  return chain;
+}
+
+}  // namespace
+
+LayerResult check_layers(const Model& model, const LayerSpec& spec) {
+  LayerResult result;
+  const Graph g = build_graph(model);
+
+  std::set<std::pair<std::string, std::string>> layer_edges;
+  for (std::size_t i = 0; i < model.tus.size(); ++i) {
+    const Tu& from = model.tus[i];
+    if (from.layer < 0) {
+      result.findings.push_back(make_finding(
+          "unmapped-file", from.rel, 1, from.rel,
+          "no layer in layers.json claims this file; add its path to the "
+          "right layer's \"paths\" list"));
+      continue;
+    }
+    for (const auto& [target_idx, line] : g.edges[i]) {
+      const Tu& to = model.tus[target_idx];
+      if (to.layer < 0) continue;  // its own unmapped-file finding suffices
+      if (from.layer != to.layer) {
+        layer_edges.emplace(spec.layer_name(from.layer),
+                            spec.layer_name(to.layer));
+      }
+      if (to.layer > from.layer && !spec.excepted(from.rel, to.rel)) {
+        std::ostringstream os;
+        os << "layer back-edge: " << from.rel << " (layer '"
+           << spec.layer_name(from.layer) << "', rank " << from.layer
+           << ") includes " << to.rel << " (layer '"
+           << spec.layer_name(to.layer) << "', rank " << to.layer
+           << "); chain: " << from.rel << " -> " << to.rel
+           << " — a lower layer must not reach upward (add a layers.json "
+              "exception only with a recorded reason)";
+        result.findings.push_back(make_finding("layer-back-edge", from.rel,
+                                               line, to.rel, os.str()));
+      }
+    }
+  }
+  result.layer_edges.assign(layer_edges.begin(), layer_edges.end());
+
+  // Cycle detection: iterative DFS with colors; every back edge closes a
+  // cycle, reported once by its canonical chain.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(model.tus.size(), Color::kWhite);
+  std::vector<std::size_t> stack;           // current DFS path
+  std::set<std::string> reported_chains;
+  // Recursive lambda via explicit stack of (node, next-edge) frames.
+  for (std::size_t start = 0; start < model.tus.size(); ++start) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> frames;  // (node, edge#)
+    frames.emplace_back(start, 0);
+    color[start] = Color::kGray;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      auto& [node, edge_no] = frames.back();
+      if (edge_no < g.edges[node].size()) {
+        const std::size_t target = g.edges[node][edge_no].first;
+        ++edge_no;
+        if (color[target] == Color::kWhite) {
+          color[target] = Color::kGray;
+          stack.push_back(target);
+          frames.emplace_back(target, 0);
+        } else if (color[target] == Color::kGray) {
+          // stack from `target` to the top is the cycle.
+          const auto it = std::find(stack.begin(), stack.end(), target);
+          std::vector<std::size_t> cycle(it, stack.end());
+          const std::string chain = canonical_cycle(model, cycle);
+          if (reported_chains.insert(chain).second) {
+            std::size_t smallest = cycle.front();
+            for (const std::size_t member : cycle) {
+              if (model.tus[member].rel < model.tus[smallest].rel) {
+                smallest = member;
+              }
+            }
+            result.findings.push_back(make_finding(
+                "include-cycle", model.tus[smallest].rel, 1, chain,
+                "include cycle: " + chain +
+                    " — break the cycle by moving the shared declarations "
+                    "down a layer"));
+          }
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.fingerprint < b.fingerprint;
+            });
+  return result;
+}
+
+std::string layer_dot(const LayerResult& result, const LayerSpec& spec) {
+  std::ostringstream os;
+  os << "digraph drbw_layers {\n";
+  os << "  // Generated by `drbw_analyze --emit-dot` — do not edit by hand.\n";
+  os << "  rankdir=BT;\n";
+  os << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::size_t r = 0; r < spec.layers.size(); ++r) {
+    os << "  \"" << spec.layers[r].name << "\" [label=\""
+       << spec.layers[r].name << " (rank " << r << ")\"];\n";
+  }
+  // Edges point from the including (higher) layer down to its dependency,
+  // deduped at layer level; rankdir=BT draws the bottom layer at the bottom.
+  for (const auto& [from, to] : result.layer_edges) {
+    const int from_rank = [&] {
+      for (std::size_t r = 0; r < spec.layers.size(); ++r) {
+        if (spec.layers[r].name == from) return static_cast<int>(r);
+      }
+      return -1;
+    }();
+    const int to_rank = [&] {
+      for (std::size_t r = 0; r < spec.layers.size(); ++r) {
+        if (spec.layers[r].name == to) return static_cast<int>(r);
+      }
+      return -1;
+    }();
+    os << "  \"" << from << "\" -> \"" << to << "\"";
+    if (to_rank > from_rank) os << " [color=red, label=\"back-edge\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace drbw::analyze

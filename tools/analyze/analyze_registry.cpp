@@ -1,0 +1,530 @@
+// Registry cross-check pass.
+//
+// Extracts every *emitted* name from call sites over the shared token
+// model — fault sites (should_inject / maybe_fail / corrupt_bits), metrics
+// (Registry counter/gauge/histogram), trace counter events, obs::Span
+// names, RunSession stage breadcrumbs — plus the error-token and exit-code
+// tables from util/error.hpp, then cross-references them against the
+// committed registry (tools/analyze/registry.json), the test suite, CI, the
+// README exit-code table, and postmortem.cpp's doctor advice.
+//
+// Rules:
+//   unregistered-name — a name is emitted but registry.json does not list
+//                       it: the contract grew silently.
+//   dead-registry-entry — registry.json lists a name nothing emits: either
+//                       remove the entry or restore the instrumentation.
+//   untested-name     — a registered fault site / metric / span is emitted
+//                       but appears in no test file and no CI leg, so a
+//                       regression there is invisible.
+//   exit-code-drift   — util/error.hpp, registry.json, the README table,
+//                       and doctor advice disagree about an exit code or an
+//                       error token.
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analyze_passes.hpp"
+#include "drbw/util/error.hpp"
+#include "drbw/util/json.hpp"
+#include "drbw/util/strings.hpp"
+
+namespace drbw::analyze {
+namespace {
+
+/// The string literal that is the call's first argument: the first literal
+/// after the open paren with no real token between it and the paren (so
+/// `counter(\n    "name", ...)` matches but `Span span(name_var)` does not).
+const Literal* literal_after(const Lexed& lex, std::size_t pos,
+                             std::size_t max_distance = 400) {
+  const Literal* lit = nullptr;
+  for (const Literal& candidate : lex.literals) {
+    if (candidate.pos > pos) {
+      lit = &candidate;
+      break;
+    }
+  }
+  if (lit == nullptr || (lit->pos - pos) > max_distance) return nullptr;
+  for (const Token& t : lex.tokens) {
+    if (t.pos <= pos) continue;
+    if (t.pos >= lit->pos) break;
+    return nullptr;  // something else is the first argument
+  }
+  return lit;
+}
+
+bool next_is_open_paren(const Lexed& lex, std::size_t token_index) {
+  return token_index + 1 < lex.tokens.size() &&
+         lex.tokens[token_index + 1].text == "(";
+}
+
+/// Looks back a few tokens for a contextual marker (e.g. "Trace" before a
+/// counter(...) call distinguishes a trace counter event from a metric).
+bool scanback_has(const Lexed& lex, std::size_t token_index,
+                  std::string_view marker, std::size_t window = 6) {
+  const std::size_t start =
+      token_index > window ? token_index - window : 0;
+  for (std::size_t k = start; k < token_index; ++k) {
+    if (lex.tokens[k].text == marker) return true;
+  }
+  return false;
+}
+
+/// Byte offset of the ')' matching the '(' at token index `open`, or the
+/// end of the file when unbalanced.
+std::size_t matching_paren_pos(const Lexed& lex, std::size_t open) {
+  int depth = 0;
+  for (std::size_t k = open; k < lex.tokens.size(); ++k) {
+    const Token& t = lex.tokens[k];
+    if (t.kind != Token::Kind::kPunct) continue;
+    if (t.text == "(") ++depth;
+    if (t.text == ")" && --depth == 0) return t.pos;
+  }
+  return lex.blanked.size();
+}
+
+bool in_layer_dirs(const std::string& rel) {
+  return starts_with(rel, "src/") || starts_with(rel, "include/") ||
+         starts_with(rel, "tools/");
+}
+
+bool is_test_or_bench(const std::string& rel) {
+  return starts_with(rel, "tests/") || starts_with(rel, "bench/") ||
+         starts_with(rel, "examples/");
+}
+
+/// Dotted lowercase site names ("pebs.sample"); rejects prose literals.
+bool plausible_site_name(const std::string& text) {
+  if (text.empty() || text.find('.') == std::string::npos) return false;
+  for (const char c : text) {
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool plausible_metric_name(const std::string& text) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void note_use(std::vector<NameUse>& out, std::string name,
+              const std::string& file, std::size_t line) {
+  out.push_back(NameUse{std::move(name), file, line});
+}
+
+Registry::Entry parse_entry(const Json& node, const std::string& origin) {
+  Registry::Entry entry;
+  if (node.type() == Json::Type::kString) {
+    entry.name = node.as_string();
+    return entry;
+  }
+  entry.name = node.at("name").as_string();
+  if (const Json* diag = node.find("diagnostic")) {
+    entry.diagnostic = diag->as_bool();
+  }
+  if (const Json* advice = node.find("doctor_advice")) {
+    entry.doctor_advice = advice->as_bool();
+  }
+  if (entry.name.empty()) {
+    throw Error(origin + ": registry entry with empty name",
+                ErrorCode::kParse);
+  }
+  return entry;
+}
+
+void parse_section(const Json& doc, const char* key,
+                   std::vector<Registry::Entry>& out,
+                   const std::string& origin) {
+  const Json* section = doc.find(key);
+  if (section == nullptr) return;
+  for (const Json& node : section->as_array()) {
+    out.push_back(parse_entry(node, origin));
+  }
+}
+
+}  // namespace
+
+Registry Registry::parse(std::string_view json_text,
+                         const std::string& origin) {
+  Json doc;
+  try {
+    doc = Json::parse(json_text);
+  } catch (const Error& e) {
+    throw Error(origin + ": " + e.what(), ErrorCode::kParse);
+  }
+  Registry registry;
+  parse_section(doc, "fault_sites", registry.fault_sites, origin);
+  parse_section(doc, "metrics", registry.metrics, origin);
+  parse_section(doc, "trace_counters", registry.trace_counters, origin);
+  parse_section(doc, "spans", registry.spans, origin);
+  parse_section(doc, "stages", registry.stages, origin);
+  parse_section(doc, "error_tokens", registry.error_tokens, origin);
+  if (const Json* codes = doc.find("exit_codes")) {
+    for (const Json& node : codes->as_array()) {
+      ExitCode code;
+      code.code = static_cast<int>(node.at("code").as_int());
+      code.meaning = node.at("meaning").as_string();
+      if (const Json* source = node.find("source")) {
+        code.source = source->as_string();
+      }
+      registry.exit_codes.push_back(std::move(code));
+    }
+  }
+  return registry;
+}
+
+Registry Registry::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("drbw_analyze: cannot read registry " + path,
+                ErrorCode::kNotFound);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), path);
+}
+
+Extraction extract_names(const Model& model) {
+  Extraction ex;
+  for (const Tu& tu : model.tus) {
+    // Emission sites live in the library + tools; tests and benches *cover*
+    // names, they do not define them.
+    if (!in_layer_dirs(tu.rel) || is_test_or_bench(tu.rel)) continue;
+    const Lexed& lex = tu.lex;
+    for (std::size_t k = 0; k < lex.tokens.size(); ++k) {
+      const Token& t = lex.tokens[k];
+      if (t.kind != Token::Kind::kIdent) continue;
+      // obs::Span span("name") — [Span][ident][(]["name"], or a temporary
+      // Span("name") — [Span][(].
+      if (t.text == "Span") {
+        std::size_t open_index = 0;
+        if (next_is_open_paren(lex, k)) {
+          open_index = k + 1;
+        } else if (k + 2 < lex.tokens.size() &&
+                   lex.tokens[k + 1].kind == Token::Kind::kIdent &&
+                   lex.tokens[k + 2].text == "(") {
+          open_index = k + 2;
+        }
+        if (open_index != 0) {
+          if (const Literal* lit =
+                  literal_after(lex, lex.tokens[open_index].pos, 64)) {
+            note_use(ex.spans, lit->text, tu.rel, lit->line);
+          }
+        }
+        continue;
+      }
+      if (!next_is_open_paren(lex, k)) continue;
+      const std::size_t open_pos = lex.tokens[k + 1].pos;
+      if (t.text == "should_inject" || t.text == "maybe_fail" ||
+          t.text == "corrupt_bits") {
+        if (const Literal* lit = literal_after(lex, open_pos)) {
+          if (plausible_site_name(lit->text)) {
+            note_use(ex.fault_sites, lit->text, tu.rel, lit->line);
+          }
+        }
+      } else if (t.text == "write_versioned_artifact") {
+        // The fault site threads through as the wrapper's *last* literal
+        // argument: write_versioned_artifact(path, kind, ver, body, "site").
+        const std::size_t close_pos = matching_paren_pos(lex, k + 1);
+        const Literal* site = nullptr;
+        for (const Literal& lit : lex.literals) {
+          if (lit.pos <= open_pos || lit.pos >= close_pos) continue;
+          if (plausible_site_name(lit.text)) site = &lit;
+        }
+        if (site != nullptr) {
+          note_use(ex.fault_sites, site->text, tu.rel, site->line);
+        }
+      } else if (t.text == "counter" || t.text == "gauge" ||
+                 t.text == "histogram") {
+        if (const Literal* lit = literal_after(lex, open_pos)) {
+          if (!plausible_metric_name(lit->text)) continue;
+          if (scanback_has(lex, k, "Trace", 10)) {
+            note_use(ex.trace_counters, lit->text, tu.rel, lit->line);
+          } else {
+            note_use(ex.metrics, lit->text, tu.rel, lit->line);
+          }
+        }
+      } else if (t.text == "stage") {
+        if (const Literal* lit = literal_after(lex, open_pos, 64)) {
+          if (plausible_metric_name(lit->text)) {
+            note_use(ex.stages, lit->text, tu.rel, lit->line);
+          }
+        }
+      }
+    }
+
+    // util/error.hpp holds the canonical token + exit-code tables.
+    if (tu.rel == "include/drbw/util/error.hpp") {
+      for (std::size_t k = 0; k + 1 < lex.tokens.size(); ++k) {
+        if (lex.tokens[k].text != "return") continue;
+        const Token& next = lex.tokens[k + 1];
+        if (next.kind == Token::Kind::kNumber) {
+          // Inside exit_code_for: `case ErrorCode::kX: return N;`
+          if (scanback_has(lex, k, "case", 8)) {
+            ex.exit_codes.emplace_back(std::stoi(std::string(next.text)),
+                                       next.line);
+          }
+        } else if (next.text == ";" || next.text == "\"") {
+          // covered by literal scan below
+        }
+      }
+      // Error tokens: every literal returned inside error_code_name.
+      for (const Literal& lit : lex.literals) {
+        if (lit.text.empty() || lit.text.find(' ') != std::string::npos) {
+          continue;
+        }
+        bool lowercase_token = true;
+        for (const char c : lit.text) {
+          if (!(std::islower(static_cast<unsigned char>(c)) || c == '-')) {
+            lowercase_token = false;
+            break;
+          }
+        }
+        if (lowercase_token) {
+          note_use(ex.error_tokens, lit.text, tu.rel, lit.line);
+        }
+      }
+    }
+  }
+
+  const auto sort_uses = [](std::vector<NameUse>& uses) {
+    std::sort(uses.begin(), uses.end(),
+              [](const NameUse& a, const NameUse& b) {
+                if (a.name != b.name) return a.name < b.name;
+                if (a.file != b.file) return a.file < b.file;
+                return a.line < b.line;
+              });
+  };
+  sort_uses(ex.fault_sites);
+  sort_uses(ex.metrics);
+  sort_uses(ex.trace_counters);
+  sort_uses(ex.spans);
+  sort_uses(ex.stages);
+  sort_uses(ex.error_tokens);
+  return ex;
+}
+
+namespace {
+
+struct SectionCheck {
+  const char* section;
+  const std::vector<Registry::Entry>* registered;
+  const std::vector<NameUse>* emitted;
+  bool coverage_required;  // untested-name applies
+};
+
+/// Parses "| 64 | meaning |" rows from the README's exit-code table.
+std::map<int, std::string> readme_exit_rows(const std::string& readme,
+                                            std::size_t* table_line) {
+  std::map<int, std::string> rows;
+  std::size_t line_no = 0;
+  bool in_table = false;
+  std::istringstream is(readme);
+  std::string line;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string l = trim(line);
+    if (!in_table) {
+      if (l.find("| code |") == 0) {
+        in_table = true;
+        if (*table_line == 0) *table_line = line_no;
+      }
+      continue;
+    }
+    if (l.empty() || l[0] != '|') {
+      in_table = false;
+      continue;
+    }
+    const std::vector<std::string> cells = split(l, '|');
+    // "| 64 | text |" splits to ["", " 64 ", " text ", ""].
+    if (cells.size() < 3) continue;
+    const std::string code_text = trim(cells[1]);
+    if (code_text.empty() ||
+        code_text.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    rows[std::stoi(code_text)] = trim(cells[2]);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<Finding> check_registry(const Registry& registry,
+                                    const Extraction& extraction,
+                                    const RegistryContext& context) {
+  std::vector<Finding> findings;
+
+  const SectionCheck checks[] = {
+      {"fault_sites", &registry.fault_sites, &extraction.fault_sites, true},
+      {"metrics", &registry.metrics, &extraction.metrics, true},
+      {"trace_counters", &registry.trace_counters, &extraction.trace_counters,
+       false},
+      {"spans", &registry.spans, &extraction.spans, true},
+      {"stages", &registry.stages, &extraction.stages, false},
+      {"error_tokens", &registry.error_tokens, &extraction.error_tokens,
+       false},
+  };
+
+  for (const SectionCheck& check : checks) {
+    std::set<std::string> registered;
+    for (const Registry::Entry& entry : *check.registered) {
+      registered.insert(entry.name);
+    }
+    std::set<std::string> emitted;
+    std::map<std::string, const NameUse*> first_use;
+    for (const NameUse& use : *check.emitted) {
+      emitted.insert(use.name);
+      first_use.emplace(use.name, &use);
+    }
+
+    for (const auto& [name, use] : first_use) {
+      if (registered.count(name) == 0) {
+        findings.push_back(make_finding(
+            "unregistered-name", use->file, use->line,
+            std::string(check.section) + ":" + name,
+            std::string(check.section) + " name '" + name +
+                "' is emitted here but tools/analyze/registry.json does not "
+                "list it; register it (and cover it with a test) or remove "
+                "the emission"));
+      }
+    }
+    for (const Registry::Entry& entry : *check.registered) {
+      if (emitted.count(entry.name) == 0) {
+        findings.push_back(make_finding(
+            "dead-registry-entry", "tools/analyze/registry.json", 1,
+            std::string(check.section) + ":" + entry.name,
+            std::string(check.section) + " entry '" + entry.name +
+                "' is registered but nothing in the tree emits it; delete "
+                "the entry or restore the instrumentation"));
+      } else if (check.coverage_required &&
+                 context.coverage_text.find(entry.name) == std::string::npos) {
+        const NameUse* use = first_use.at(entry.name);
+        findings.push_back(make_finding(
+            "untested-name", use->file, use->line,
+            std::string(check.section) + ":" + entry.name,
+            std::string(check.section) + " name '" + entry.name +
+                "' is emitted here but appears in no test file and no CI "
+                "leg — a regression in it would be invisible; add a test or "
+                "CI assertion that names it"));
+      }
+    }
+  }
+
+  // ---- exit-code drift -----------------------------------------------
+  std::map<int, std::string> registered_codes;  // code -> meaning
+  for (const Registry::ExitCode& code : registry.exit_codes) {
+    registered_codes[code.code] = code.meaning;
+  }
+  // (a) every exit code util/error.hpp returns must be registered.
+  for (const auto& [code, line] : extraction.exit_codes) {
+    if (registered_codes.count(code) == 0) {
+      findings.push_back(make_finding(
+          "exit-code-drift", "include/drbw/util/error.hpp", line,
+          "code:" + std::to_string(code),
+          "exit_code_for returns " + std::to_string(code) +
+              " but registry.json's exit_codes table does not list it"));
+    }
+  }
+  // (b) every registered code with source "error.hpp" must be returned.
+  std::set<int> returned;
+  for (const auto& [code, line] : extraction.exit_codes) returned.insert(code);
+  for (const Registry::ExitCode& code : registry.exit_codes) {
+    if (code.source == "error.hpp" && returned.count(code.code) == 0) {
+      findings.push_back(make_finding(
+          "exit-code-drift", "tools/analyze/registry.json", 1,
+          "code:" + std::to_string(code.code),
+          "registry.json lists exit code " + std::to_string(code.code) +
+              " as coming from util/error.hpp, but exit_code_for never "
+              "returns it"));
+    }
+  }
+  // (c) the README table must match the registry row-for-row.
+  if (!context.readme_text.empty()) {
+    std::size_t table_line = 0;
+    const std::map<int, std::string> rows =
+        readme_exit_rows(context.readme_text, &table_line);
+    if (rows.empty()) {
+      findings.push_back(make_finding(
+          "exit-code-drift", context.readme_path, 1, "readme:no-table",
+          "README has no recognizable exit-code table (expected a markdown "
+          "table with a '| code |' header); regenerate it with "
+          "`drbw_analyze --emit-exit-table`"));
+    } else {
+      for (const auto& [code, meaning] : registered_codes) {
+        const auto it = rows.find(code);
+        if (it == rows.end()) {
+          findings.push_back(make_finding(
+              "exit-code-drift", context.readme_path, table_line,
+              "readme:" + std::to_string(code),
+              "README exit-code table is missing code " +
+                  std::to_string(code) + " ('" + meaning +
+                  "'); regenerate with `drbw_analyze --emit-exit-table`"));
+        } else if (it->second != meaning) {
+          findings.push_back(make_finding(
+              "exit-code-drift", context.readme_path, table_line,
+              "readme:" + std::to_string(code),
+              "README meaning for exit code " + std::to_string(code) +
+                  " ('" + it->second + "') drifted from the registry ('" +
+                  meaning + "'); regenerate with `drbw_analyze "
+                  "--emit-exit-table`"));
+        }
+      }
+      for (const auto& [code, meaning] : rows) {
+        if (registered_codes.count(code) == 0) {
+          findings.push_back(make_finding(
+              "exit-code-drift", context.readme_path, table_line,
+              "readme:" + std::to_string(code),
+              "README exit-code table lists code " + std::to_string(code) +
+                  " ('" + meaning + "') that registry.json does not know"));
+        }
+      }
+    }
+  }
+  // (d) every error token that promises doctor advice must be handled in
+  // postmortem.cpp (the doctor branches compare m.error_code literals).
+  if (!context.postmortem_text.empty()) {
+    for (const Registry::Entry& token : registry.error_tokens) {
+      if (!token.doctor_advice) continue;
+      if (context.postmortem_text.find("\"" + token.name + "\"") ==
+          std::string::npos) {
+        findings.push_back(make_finding(
+            "exit-code-drift", context.postmortem_path, 1,
+            "doctor:" + token.name,
+            "error token '" + token.name +
+                "' is registered with doctor_advice=true but "
+                "postmortem.cpp's doctor() has no branch naming it"));
+      }
+    }
+  }
+
+  return findings;
+}
+
+std::string exit_table_markdown(const Registry& registry) {
+  std::vector<Registry::ExitCode> codes = registry.exit_codes;
+  std::sort(codes.begin(), codes.end(),
+            [](const Registry::ExitCode& a, const Registry::ExitCode& b) {
+              return a.code < b.code;
+            });
+  std::ostringstream os;
+  os << "| code | meaning |\n|------|---------|\n";
+  for (const Registry::ExitCode& code : codes) {
+    os << "| " << code.code << " | " << code.meaning << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace drbw::analyze

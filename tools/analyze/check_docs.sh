@@ -1,0 +1,42 @@
+#!/bin/sh
+# Generated-docs drift check: the committed README exit-code table and the
+# DESIGN.md layer diagram must match what drbw_analyze generates from the
+# committed registry.json / layers.json.  Both blocks are delimited by
+# `drbw-analyze:<name>:begin` / `:end` HTML-comment markers; code-fence
+# lines inside a block are skipped so the DOT can live in a ```dot fence.
+#
+# Usage: check_docs.sh <drbw_analyze binary> [repo root]
+set -eu
+
+bin=$1
+root=${2:-.}
+
+extract() { # <file> <marker name>
+  awk -v m="$2" '
+    index($0, "drbw-analyze:" m ":begin") { on = 1; next }
+    index($0, "drbw-analyze:" m ":end")   { on = 0 }
+    on && $0 !~ /^```/ { print }
+  ' "$1"
+}
+
+status=0
+
+"$bin" --root "$root" --emit-exit-table > "${TMPDIR:-/tmp}/drbw_exit_table.$$"
+if ! extract "$root/README.md" exit-table \
+    | diff -u "${TMPDIR:-/tmp}/drbw_exit_table.$$" -; then
+  echo "README.md exit-code table drifted from registry.json;" \
+       "regenerate the block with: drbw_analyze --emit-exit-table" >&2
+  status=1
+fi
+rm -f "${TMPDIR:-/tmp}/drbw_exit_table.$$"
+
+"$bin" --root "$root" --emit-dot > "${TMPDIR:-/tmp}/drbw_layer_dot.$$"
+if ! extract "$root/DESIGN.md" layer-dot \
+    | diff -u "${TMPDIR:-/tmp}/drbw_layer_dot.$$" -; then
+  echo "DESIGN.md layer diagram drifted from the observed include graph;" \
+       "regenerate the block with: drbw_analyze --emit-dot" >&2
+  status=1
+fi
+rm -f "${TMPDIR:-/tmp}/drbw_layer_dot.$$"
+
+exit $status

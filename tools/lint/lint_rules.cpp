@@ -73,7 +73,18 @@ void harvest_allows(std::string_view comment, std::size_t line,
   SourceText::Allow allow;
   allow.line = line;
   allow.rule = trim(rest.substr(0, close));
-  allow.has_reason = !trim(rest.substr(close + 1)).empty();
+  // The reason must actually say something: at least three characters with
+  // at least one letter, so "." or "--" cannot wave a finding through.
+  const std::string reason = trim(rest.substr(close + 1));
+  allow.has_reason = false;
+  if (reason.size() >= 3) {
+    for (const char c : reason) {
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        allow.has_reason = true;
+        break;
+      }
+    }
+  }
   out.push_back(allow);
 }
 
