@@ -59,29 +59,27 @@ sim::RunResult contended_run(const topology::Machine& machine,
   return engine.run(threads, {phase});
 }
 
-/// Best-of-`reps` engine throughput in accesses/second.
-double best_engine_rate(const topology::Machine& machine, int reps,
-                        std::uint64_t per_thread) {
-  double best = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    const auto start = Clock::now();
-    const auto run =
-        contended_run(machine, 7 + static_cast<std::uint64_t>(r), per_thread);
-    best = std::max(
-        best, static_cast<double>(run.total_accesses) / seconds_since(start));
-  }
-  return best;
-}
-
 double ns_per_op(double seconds, std::uint64_t ops) {
   return seconds / static_cast<double>(ops) * 1e9;
+}
+
+/// Median of a sample vector (sorts its copy; mean of the middle pair for
+/// even sizes).
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2.0;
 }
 
 }  // namespace
 
 int run_main(int argc, char** argv) {
   ArgParser parser("micro_obs", "Time the obs metrics/trace instrumentation");
-  parser.add_option("reps", "repetitions per measurement", "3");
+  parser.add_option("reps",
+                    "repetitions per measurement (the engine section rounds "
+                    "up to an odd pair count for a single-sample median)",
+                    "7");
   parser.add_option("ops", "instrument calls per timing loop", "20000000");
   parser.add_option("engine-accesses",
                     "per-thread accesses in the engine overhead run", "400000");
@@ -160,33 +158,80 @@ int run_main(int argc, char** argv) {
   }
 
   // 2. Engine run with sinks disabled vs tracing enabled. ---------------- //
+  //
+  // The traced/untraced runs are *interleaved pairwise* and the overhead is
+  // the median of the per-pair ratios: a separately-timed best-of-2 sat
+  // under run-to-run jitter and the committed overhead number flipped sign
+  // (-0.92%).  Pairing puts both measurements under the same machine state.
+  // Even so, tracing a handful of events over an ~10ms run costs ~0.01% —
+  // far below the pair-to-pair jitter — so the headline is additionally
+  // clamped to 0.0 whenever |median| is within the noise floor (the median
+  // absolute deviation of the pair ratios): the committed number is then
+  // sign-stable by construction, and a real regression (overhead above the
+  // floor) still reports its measured value.
   {
     const auto per_thread =
         static_cast<std::uint64_t>(parser.option_int("engine-accesses"));
+    // An odd pair count makes the median one actual measurement.
+    const int pairs = reps % 2 == 0 ? reps + 1 : reps;
     obs::Trace& trace = obs::Trace::instance();
-    trace.disable();
-    trace.clear();
-    const double rate_off = best_engine_rate(machine, reps, per_thread);
+    std::vector<double> off_rates, on_rates, overheads;
+    std::size_t traced_events = 0;
+    for (int r = 0; r < pairs; ++r) {
+      const auto seed = 7 + static_cast<std::uint64_t>(r);
+      trace.disable();
+      trace.clear();
+      auto start = Clock::now();
+      const auto off_run = contended_run(machine, seed, per_thread);
+      const double off =
+          static_cast<double>(off_run.total_accesses) / seconds_since(start);
 
-    trace.enable(obs::TimingMode::kSim);
-    trace.clear();
-    const double rate_on = best_engine_rate(machine, reps, per_thread);
-    const std::size_t traced_events = trace.event_count();
-    trace.disable();
-    trace.clear();
+      trace.enable(obs::TimingMode::kSim);
+      trace.clear();
+      start = Clock::now();
+      const auto on_run = contended_run(machine, seed, per_thread);
+      const double on =
+          static_cast<double>(on_run.total_accesses) / seconds_since(start);
+      traced_events = trace.event_count();
+      trace.disable();
+      trace.clear();
 
-    const double tracing_overhead_pct = (rate_off / rate_on - 1.0) * 100.0;
+      off_rates.push_back(off);
+      on_rates.push_back(on);
+      overheads.push_back((off / on - 1.0) * 100.0);
+    }
+    const double rate_off = median(off_rates);
+    const double rate_on = median(on_rates);
+    const double overhead_raw = median(overheads);
+    std::vector<double> deviations;
+    for (const double o : overheads) {
+      deviations.push_back(std::abs(o - overhead_raw));
+    }
+    const double noise_floor_pct = median(deviations);
+    const bool resolved = std::abs(overhead_raw) > noise_floor_pct;
+    const double tracing_overhead_pct = resolved ? overhead_raw : 0.0;
     std::cout << "\nengine (16-thread contended run, sinks disabled): "
-              << format_fixed(rate_off / 1e6, 2) << " M accesses/s\n"
+              << format_fixed(rate_off / 1e6, 2) << " M accesses/s (median of "
+              << pairs << ")\n"
               << "engine (tracing enabled, " << traced_events << " events): "
               << format_fixed(rate_on / 1e6, 2) << " M accesses/s ("
-              << format_fixed(tracing_overhead_pct, 1) << "% overhead)\n"
-              << "compare best_accesses_per_second against "
-                 "BENCH_executor.json for the <=3% compiled-in budget\n";
+              << format_fixed(overhead_raw, 1) << "% raw overhead, noise "
+              << "floor " << format_fixed(noise_floor_pct, 1) << "% -> "
+              << (resolved ? "resolved" : "below noise floor, reported 0.0")
+              << ")\n"
+              << "compare accesses_per_second against BENCH_executor.json "
+                 "for the <=3% compiled-in budget\n";
     Json engine = JsonObject{};
-    engine.set("best_accesses_per_second", rate_off);
-    engine.set("best_accesses_per_second_traced", rate_on);
+    engine.set("accesses_per_second", rate_off);
+    engine.set("accesses_per_second_traced", rate_on);
     engine.set("tracing_overhead_pct", tracing_overhead_pct);
+    engine.set("tracing_overhead_pct_raw", overhead_raw);
+    engine.set("noise_floor_pct", noise_floor_pct);
+    engine.set("overhead_resolved", resolved);
+    engine.set("overhead_method",
+               "median of interleaved traced/untraced pairs, clamped to 0 "
+               "below the pair-MAD noise floor");
+    engine.set("pairs", static_cast<std::size_t>(pairs));
     engine.set("traced_events", traced_events);
     result.set("engine_throughput", std::move(engine));
   }

@@ -1,0 +1,71 @@
+// drbw::obs flame folding — collapsed-stack export of the deterministic
+// span stream, the format flamegraph.pl and speedscope ingest directly.
+//
+// Every completed obs::Span (and every sim-side 'X' trace event) carries a
+// (track, start, dur) address that is a pure function of the deterministic
+// call tree, never of scheduling.  Folding reconstructs the nesting from
+// those addresses alone: within one track, span B is a child of span A when
+// B starts inside [A.start, A.start + A.dur).  Each stack path is credited
+// with its *self* weight (own duration minus direct children), so frame
+// totals in a viewer equal the span durations — the flamegraph invariant.
+//
+// Output lines look like
+//
+//   classify;featurize 12
+//
+// one per distinct stack, sorted lexicographically, newline-terminated —
+// byte-identical for identical runs at any --jobs value because the input
+// addresses already are.  FlameFold accumulates across add()/merge() calls,
+// which is how `drbw fleet --flame-out` produces one fleet-wide profile
+// from many run directories.
+//
+// Layering: obs-side (below util) like the other exporters — the fold is
+// pure standard library; parsing flight dumps / trace JSON into FlameSpan
+// records happens above, in report/fleet.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace drbw::obs {
+
+/// One span to fold: a name plus its deterministic (track, start, dur)
+/// address.  From a flight dump these are the tag=="span" breadcrumbs
+/// (detail, track, seq, value); from a trace JSON they are the 'X' events
+/// (name, tid, ts, dur).
+struct FlameSpan {
+  std::string name;
+  std::uint64_t track = 0;
+  std::uint64_t start = 0;
+  std::uint64_t dur = 0;
+};
+
+/// Accumulates folded stacks.  add() one run's spans at a time; merge()
+/// other folds; collapsed() renders the sorted collapsed-stack text.
+class FlameFold {
+ public:
+  /// Folds one run's spans into the accumulated weights.  The vector is
+  /// sorted internally, so callers may pass spans in any order.
+  void add(std::vector<FlameSpan> spans);
+
+  /// Adds every stack weight from `other` (fleet merging).
+  void merge(const FlameFold& other);
+
+  /// The collapsed-stack text: one `frame;frame;frame weight` line per
+  /// distinct stack, sorted lexicographically, '\n'-terminated.  Empty
+  /// string when nothing was folded.
+  std::string collapsed() const;
+
+  bool empty() const { return weights_.empty(); }
+  std::size_t stack_count() const { return weights_.size(); }
+
+  /// Sum of all self weights == sum of root-span durations.
+  std::uint64_t total_weight() const;
+
+ private:
+  std::map<std::string, std::uint64_t> weights_;
+};
+
+}  // namespace drbw::obs

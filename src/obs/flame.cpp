@@ -1,0 +1,93 @@
+#include "drbw/obs/flame.hpp"
+
+#include <algorithm>
+
+namespace drbw::obs {
+
+namespace {
+
+/// Collapsed-stack frames are ';'-separated and lines are ' '-separated, so
+/// those characters (and control characters) inside a span name would break
+/// the format.  Span names in this tree are clean identifiers; flight-dump
+/// details are free text, so sanitize defensively.
+std::string sanitize_frame(const std::string& name) {
+  std::string out = name.empty() ? std::string("?") : name;
+  for (char& c : out) {
+    if (c == ';' || c == ' ' || static_cast<unsigned char>(c) < 0x20) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void FlameFold::add(std::vector<FlameSpan> spans) {
+  // (track, start) is unique per span by construction (each span claims its
+  // own sequence slot); sorting by it replays each track's call tree in
+  // entry order.  Longer span first on a tie keeps the parent outermost
+  // even for inputs that violate the uniqueness assumption.
+  std::sort(spans.begin(), spans.end(),
+            [](const FlameSpan& a, const FlameSpan& b) {
+              if (a.track != b.track) return a.track < b.track;
+              if (a.start != b.start) return a.start < b.start;
+              return a.dur > b.dur;
+            });
+
+  struct Frame {
+    std::string path;           // ';'-joined stack up to and including self
+    std::uint64_t track = 0;
+    std::uint64_t end = 0;      // start + dur
+    std::uint64_t dur = 0;
+    std::uint64_t child_dur = 0;  // sum of direct children's durations
+  };
+  std::vector<Frame> stack;
+  const auto pop = [&] {
+    const Frame& f = stack.back();
+    // Self weight: own duration minus what the direct children consumed.
+    weights_[f.path] += f.dur > f.child_dur ? f.dur - f.child_dur : 0;
+    stack.pop_back();
+  };
+
+  for (const FlameSpan& span : spans) {
+    while (!stack.empty() && (stack.back().track != span.track ||
+                              stack.back().end <= span.start)) {
+      pop();
+    }
+    Frame frame;
+    frame.track = span.track;
+    frame.end = span.start + span.dur;
+    frame.dur = span.dur;
+    if (stack.empty()) {
+      frame.path = sanitize_frame(span.name);
+    } else {
+      stack.back().child_dur += span.dur;
+      frame.path = stack.back().path + ";" + sanitize_frame(span.name);
+    }
+    stack.push_back(std::move(frame));
+  }
+  while (!stack.empty()) pop();
+}
+
+void FlameFold::merge(const FlameFold& other) {
+  for (const auto& [path, weight] : other.weights_) {
+    weights_[path] += weight;
+  }
+}
+
+std::string FlameFold::collapsed() const {
+  std::string out;
+  for (const auto& [path, weight] : weights_) {
+    out += path;
+    out += ' ';
+    out += std::to_string(weight);
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t FlameFold::total_weight() const {
+  std::uint64_t total = 0;
+  for (const auto& [path, weight] : weights_) total += weight;
+  return total;
+}
+
+}  // namespace drbw::obs

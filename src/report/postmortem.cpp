@@ -319,6 +319,49 @@ DoctorReport doctor(const std::string& run_dir) {
           "expected only under --inject-faults");
     }
   }
+
+  // Fleet cross-link: sibling run dirs next to this one mean the run is part
+  // of a corpus (chaos CI, batch evaluation) — one diagnosis rarely tells
+  // the whole story there.  Ranked last: it redirects, it does not explain.
+  std::error_code sibling_ec;
+  const fs::path self = fs::absolute(dir, sibling_ec).lexically_normal();
+  const fs::path parent = self.parent_path();
+  if (!sibling_ec && !parent.empty() && fs::is_directory(parent, sibling_ec)) {
+    std::vector<fs::path> siblings;
+    for (fs::directory_iterator it(parent, sibling_ec), end;
+         !sibling_ec && it != end; it.increment(sibling_ec)) {
+      std::error_code entry_ec;
+      if (!it->is_directory(entry_ec)) continue;
+      if (it->path().lexically_normal() == self) continue;
+      if (fs::exists(it->path() / obs::kManifestFileName, entry_ec)) {
+        siblings.push_back(it->path());
+      }
+    }
+    std::sort(siblings.begin(), siblings.end());
+    if (!siblings.empty()) {
+      std::size_t same_token = 0;
+      if (m.status == "error" && !m.error_code.empty()) {
+        for (const fs::path& sibling : siblings) {
+          try {
+            const ManifestData other = load_manifest(
+                (sibling / obs::kManifestFileName).string());
+            if (other.error_code == m.error_code) ++same_token;
+          } catch (const Error&) {
+            // A corrupt sibling manifest is the fleet tool's problem.
+          }
+        }
+      }
+      std::string evidence = std::to_string(siblings.size()) +
+                             " sibling run dir(s) under '" + parent.string() +
+                             "'";
+      if (m.status == "error" && !m.error_code.empty()) {
+        evidence += "; " + std::to_string(same_token) +
+                    " share error token '" + m.error_code + "'";
+      }
+      add("this run dir is part of a corpus", evidence,
+          "aggregate all of them with `drbw fleet " + parent.string() + "`");
+    }
+  }
   return rep;
 }
 

@@ -52,6 +52,25 @@
 //       against it.  Exits 3 when any comparison regressed past the
 //       threshold (default 0.25 = +25%), which CI uses as a perf gate.
 //
+//   drbw fleet <root-dir> [--baseline run.json] [--threshold F]
+//              [--filter status=ok|failed] [--top N] [--jobs N]
+//              [--out report.md] [--json-out report.json]
+//              [--flame-out profile.folded]
+//       Aggregate every run dir under root-dir (recursively) into a fleet
+//       report: outcome histogram, span-time distributions, fault-fire and
+//       quarantine tallies; corrupt manifests are quarantined into the
+//       report, never fatal.  --baseline perf-diffs every passing run
+//       against the given manifest and exits 3 when any regresses;
+//       --flame-out merges every run's flight.log spans into one
+//       collapsed-stack profile.  All outputs are byte-identical at any
+//       --jobs value.
+//
+//   drbw flame <run-dir|trace> [--out FILE]
+//       Fold one run's deterministic spans into collapsed-stack format
+//       (`stage;substage;span weight` — what flamegraph.pl and speedscope
+//       ingest).  A directory folds its flight.log; a file is either a
+//       flight dump or a trace_event JSON from --trace-out.
+//
 // train/record/analyze additionally accept --trace-out FILE (Chrome
 // trace_event JSON), --metrics-out FILE (.json => JSON, else Prometheus
 // text), --timing sim|wall (wall-clock span durations; marks the trace
@@ -83,6 +102,8 @@
 #include "drbw/obs/manifest.hpp"
 #include "drbw/obs/trace.hpp"
 #include "drbw/pebs/trace_io.hpp"
+#include "drbw/obs/flame.hpp"
+#include "drbw/report/fleet.hpp"
 #include "drbw/report/markdown.hpp"
 #include "drbw/report/postmortem.hpp"
 #include "drbw/util/artifact.hpp"
@@ -905,12 +926,225 @@ int cmd_perf_diff(int argc, char** argv) {
   return any_regressed ? kExitPerfRegression : 0;
 }
 
+/// Hand-parsed "--name value" / "--name=value" helper for the positional
+/// subcommands (doctor-style).  Returns true when `arg` matched `name`,
+/// leaving the value in `value` (and advancing `i` for the two-token form).
+bool take_option(const std::string& cmd, const std::string& arg,
+                 const char* name, int argc, char** argv, int& i,
+                 std::string& value) {
+  const std::string flag = std::string("--") + name;
+  if (arg == flag) {
+    if (i + 1 >= argc) {
+      throw UsageError(cmd + ": " + flag + " expects a value");
+    }
+    value = argv[++i];
+    return true;
+  }
+  if (starts_with(arg, flag + "=")) {
+    value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+long long parse_int_option(const std::string& cmd, const char* name,
+                           const std::string& raw, long long min_value) {
+  char* end = nullptr;
+  const long long value = std::strtoll(raw.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || raw.empty() || value < min_value) {
+    throw UsageError(cmd + ": --" + name + " expects an integer >= " +
+                     std::to_string(min_value) + ", got '" + raw + "'");
+  }
+  return value;
+}
+
+int cmd_fleet(int argc, char** argv) {
+  const char* usage =
+      "drbw fleet <root-dir> [options] — aggregate a tree of run dirs\n"
+      "\n"
+      "Recursively discovers every directory under root-dir holding a\n"
+      "run.json, validates each manifest's checksum (corrupt manifests are\n"
+      "quarantined into the report, never fatal), and aggregates outcomes,\n"
+      "span-time distributions, fault fires, and quarantine tallies.\n"
+      "\n"
+      "  --baseline run.json   perf-diff every passing run against this\n"
+      "                        manifest; exit 3 when any run regresses\n"
+      "  --threshold F         regression threshold (default 0.25 = +25%)\n"
+      "  --filter status=S     aggregate only ok or failed runs\n"
+      "  --top N               list at most N runs in the report (0 = all)\n"
+      "  --jobs N              parallel manifest loads (0 = hw threads);\n"
+      "                        every output is byte-identical at any value\n"
+      "  --out FILE            write the Markdown report here (default:\n"
+      "                        print to stdout)\n"
+      "  --json-out FILE       write the checksummed #drbw-fleet JSON here\n"
+      "  --flame-out FILE      merge every run's flight.log spans into one\n"
+      "                        collapsed-stack profile here\n";
+  const std::string cmd = "drbw fleet";
+  std::string root;
+  std::string out, json_out, flame_out;
+  std::string value;
+  report::FleetOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage;
+      return 0;
+    }
+    if (take_option(cmd, arg, "baseline", argc, argv, i, value)) {
+      options.baseline_path = value;
+    } else if (take_option(cmd, arg, "threshold", argc, argv, i, value)) {
+      char* end = nullptr;
+      options.threshold = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || value.empty() ||
+          options.threshold < 0.0) {
+        throw UsageError(cmd + ": --threshold expects a non-negative "
+                         "number, got '" + value + "'");
+      }
+    } else if (take_option(cmd, arg, "filter", argc, argv, i, value)) {
+      if (value == "status=ok" || value == "status=failed") {
+        options.filter_status = value.substr(std::string("status=").size());
+      } else {
+        throw UsageError(cmd + ": --filter expects status=ok or "
+                         "status=failed, got '" + value + "'");
+      }
+    } else if (take_option(cmd, arg, "top", argc, argv, i, value)) {
+      options.top =
+          static_cast<std::size_t>(parse_int_option(cmd, "top", value, 0));
+    } else if (take_option(cmd, arg, "jobs", argc, argv, i, value)) {
+      options.jobs =
+          static_cast<int>(parse_int_option(cmd, "jobs", value, 0));
+    } else if (take_option(cmd, arg, "out", argc, argv, i, value)) {
+      out = value;
+    } else if (take_option(cmd, arg, "json-out", argc, argv, i, value)) {
+      json_out = value;
+    } else if (take_option(cmd, arg, "flame-out", argc, argv, i, value)) {
+      flame_out = value;
+    } else if (starts_with(arg, "--")) {
+      throw UsageError(cmd + ": unknown option '" + arg + "'");
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      throw UsageError(cmd + " expects exactly one root directory");
+    }
+  }
+  if (root.empty()) {
+    throw UsageError(cmd + " expects a root directory\n" +
+                     std::string(usage));
+  }
+
+  const report::FleetReport fleet = report::fleet_scan(root, options);
+  const std::string markdown = report::render_fleet_markdown(fleet);
+  if (out.empty()) {
+    std::cout << markdown;
+  } else {
+    report::write_fleet_text(out, markdown);
+    std::cout << "fleet report written to " << out << '\n';
+  }
+  if (!json_out.empty()) {
+    report::write_fleet_json(fleet, json_out);
+    std::cout << "fleet JSON written to " << json_out << '\n';
+  }
+  if (!flame_out.empty()) {
+    obs::FlameFold fold;
+    std::size_t folded = 0;
+    for (const report::FleetRun& run : fleet.runs) {
+      const std::string dir =
+          run.dir == "." ? root : root + "/" + run.dir;
+      if (report::fold_run_dir(dir, fold)) ++folded;
+    }
+    report::write_fleet_text(flame_out, fold.collapsed());
+    std::cout << "flame profile (" << fold.stack_count() << " stack(s) from "
+              << folded << " run(s)) written to " << flame_out << '\n';
+  }
+  if (!out.empty() || fleet.regressed) {
+    std::cout << "fleet: " << fleet.dirs_scanned << " run dir(s), "
+              << fleet.runs_ok << " ok, " << fleet.runs_failed << " failed, "
+              << fleet.manifests_corrupt << " corrupt manifest(s)";
+    if (fleet.regressed) {
+      std::cout << "; " << fleet.regressions.size()
+                << " run(s) REGRESSED vs " << options.baseline_path;
+    }
+    std::cout << '\n';
+  }
+  return fleet.regressed ? kExitPerfRegression : 0;
+}
+
+int cmd_flame(int argc, char** argv) {
+  const char* usage =
+      "drbw flame <run-dir|trace> [--out FILE] — collapsed-stack export\n"
+      "\n"
+      "Folds a run's deterministic spans into collapsed-stack format\n"
+      "(`frame;frame;frame weight`, one line per stack — the input format\n"
+      "of flamegraph.pl and speedscope).  A directory argument folds its\n"
+      "flight.log; a file argument is either a #drbw-flight dump or a\n"
+      "trace_event JSON written with --trace-out.  Without --out the\n"
+      "profile goes to stdout (pipe it straight into flamegraph.pl).\n";
+  const std::string cmd = "drbw flame";
+  std::string input;
+  std::string out;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage;
+      return 0;
+    }
+    if (take_option(cmd, arg, "out", argc, argv, i, value)) {
+      out = value;
+    } else if (starts_with(arg, "--")) {
+      throw UsageError(cmd + ": unknown option '" + arg + "'");
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      throw UsageError(cmd + " expects exactly one run dir or trace file");
+    }
+  }
+  if (input.empty()) {
+    throw UsageError(cmd + " expects a run dir or trace file\n" +
+                     std::string(usage));
+  }
+
+  obs::FlameFold fold;
+  std::error_code ec;
+  if (std::filesystem::is_directory(input, ec)) {
+    if (!report::fold_run_dir(input, fold)) {
+      throw Error(input + ": no loadable " +
+                      std::string(obs::kFlightFileName) +
+                      " in this run dir (flame folds the flight recorder's "
+                      "span breadcrumbs)",
+                  ErrorCode::kNotFound);
+    }
+  } else {
+    const std::string content = util::read_file_or_throw(input, "flame input");
+    if (content.rfind("#drbw-flight", 0) == 0) {
+      fold.add(report::flame_spans(report::load_flight_dump(input)));
+    } else {
+      try {
+        fold.add(report::flame_spans_from_trace(Json::parse(content)));
+      } catch (const Error& e) {
+        throw Error(input + ": " + e.what(), e.code() == ErrorCode::kGeneric
+                                                ? ErrorCode::kParse
+                                                : e.code());
+      }
+    }
+  }
+  if (out.empty()) {
+    std::cout << fold.collapsed();
+  } else {
+    report::write_fleet_text(out, fold.collapsed());
+    std::cout << "flame profile (" << fold.stack_count()
+              << " stack(s), total weight " << fold.total_weight()
+              << ") written to " << out << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: drbw <train|record|analyze|convert|inspect|topology|stats|"
-      "doctor> [options]\n"
+      "doctor|fleet|flame> [options]\n"
       "       drbw perf diff <baseline/run.json> <after/run.json>...\n"
       "       drbw <subcommand> --help for details\n";
   if (argc < 2) {
@@ -927,6 +1161,8 @@ int main(int argc, char** argv) {
     if (sub == "topology") return cmd_topology(argc - 1, argv + 1);
     if (sub == "stats") return cmd_stats(argc - 1, argv + 1);
     if (sub == "doctor") return cmd_doctor(argc - 1, argv + 1);
+    if (sub == "fleet") return cmd_fleet(argc - 1, argv + 1);
+    if (sub == "flame") return cmd_flame(argc - 1, argv + 1);
     if (sub == "perf") {
       if (argc < 3 || std::string(argv[2]) != "diff") {
         std::cerr << "drbw perf: the only verb is 'diff'\n" << usage;
