@@ -58,6 +58,10 @@ struct RunManifest {
   /// --run-dir (the manifest's own location carries no information).
   std::vector<std::pair<std::string, std::string>> config;
   std::string fault_spec;  ///< canonical Plan::to_string(), "" when unarmed
+  /// True when the run completed in degraded mode (e.g. `drbw serve`
+  /// falling back to pass-through telemetry without a usable model).
+  /// Emitted only when set, so existing manifests are byte-unchanged.
+  bool degraded = false;
   std::vector<ArtifactRef> inputs;
   std::vector<ArtifactRef> outputs;
   bool has_load_stats = false;

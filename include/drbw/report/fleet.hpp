@@ -76,6 +76,16 @@ struct FleetSpanStat {
   std::string max_dir;  ///< the offending (slowest) run dir
 };
 
+/// One client of one serve run, pulled from its serve_snapshot.json.
+struct FleetServeClient {
+  std::string dir;  ///< serve run dir relative to the scan root
+  std::uint64_t client = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t dropped = 0;
+  bool quarantined = false;
+};
+
 /// Regressed rows for one run vs the baseline manifest.
 struct FleetRegression {
   std::string dir;
@@ -99,6 +109,16 @@ struct FleetReport {
   std::vector<std::pair<std::string, std::uint64_t>> fault_fires;
   std::uint64_t records_quarantined = 0;  ///< summed across aggregated runs
   std::size_t quarantine_runs = 0;        ///< runs with a nonzero tally
+  /// Serve aggregation (sections emitted only when serve_runs > 0, so
+  /// corpora without serve runs render byte-identically to before).
+  std::size_t serve_runs = 0;
+  std::size_t serve_degraded_runs = 0;   ///< manifests with degraded=true
+  std::size_t serve_snapshots_missing = 0;  ///< serve runs without a loadable snapshot
+  std::uint64_t serve_shed = 0;
+  std::uint64_t serve_rejected = 0;
+  std::uint64_t serve_dropped = 0;
+  std::uint64_t serve_quarantined_clients = 0;
+  std::vector<FleetServeClient> serve_clients;  ///< sorted by (dir, client)
   /// Regression scan (baseline_path only): passing runs with rows past the
   /// threshold, sorted by dir.  `regressed` drives fleet's exit 3.
   std::vector<FleetRegression> regressions;

@@ -43,6 +43,7 @@ struct ManifestData {
   Json document;
   std::string subcommand;
   std::string fault_spec;
+  bool degraded = false;  ///< run completed in a reduced mode (serve)
   std::string status = "ok";
   std::string error_code;
   int exit_code = 0;

@@ -1,0 +1,149 @@
+// drbw::serve — online contention detection with bounded ingest,
+// backpressure, and graceful degradation.
+//
+// The paper's pipeline is batch (record -> featurize -> classify); this
+// layer runs the same featurize/classify machinery as a long-lived service
+// fed by N simulated clients.  A recorded trace is sliced into per-client
+// sessions (pebs/session.hpp) and replayed on the simulated cycle clock in
+// fixed windows ("ticks").  Each tick:
+//
+//   1. admission — every client's arrivals for the window are offered to
+//      its BoundedQueue in client/ordinal order, under the configured
+//      overload policy (block | shed-oldest | reject);
+//   2. drain — up to drain_per_tick samples per client move from the queue
+//      into the client's sliding window buffer;
+//   3. classify — non-empty buffers are featurized and classified with the
+//      trained tree, fanned out over util::TaskPool into indexed slots and
+//      applied serially, so results are byte-identical at any jobs count.
+//
+// Robustness contract:
+//   * Four fault sites guard the hot path — serve.ingest (per sample,
+//     keyed by trace ordinal), serve.session (per client-window), and
+//     serve.window / serve.classify (per client-window featurize/classify)
+//     — all keyed by content, never call order, so fire patterns are
+//     identical at any --jobs.
+//   * Failed operations retry with deterministic exponential backoff
+//     (attempt re-draws keyed ordinal*16+attempt; the backoff penalty is
+//     accounted in simulated cycles).  An operation that exhausts its
+//     retries counts one fault toward the client's circuit breaker;
+//     breaker_threshold consecutive faults quarantine the client for the
+//     rest of the run (mirroring the lenient-load quarantine taxonomy).
+//   * With no usable model the server degrades to pass-through telemetry:
+//     ingest/queue/drain still run and are fully accounted, classification
+//     is skipped, and the result carries degraded = true — the CLI maps
+//     this to exit 0 with `"degraded": true` in the run manifest.
+//   * Shutdown always drains: the loop ends when every client's stream is
+//     exhausted (or --max-cycles cuts replay short), and the final
+//     checksummed serve_snapshot.json is written either way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drbw/ml/decision_tree.hpp"
+#include "drbw/pebs/session.hpp"
+#include "drbw/serve/queue.hpp"
+#include "drbw/topology/machine.hpp"
+
+namespace drbw::serve {
+
+/// Version of the `#drbw-serve-snapshot` artifact.
+inline constexpr int kServeSnapshotVersion = 1;
+
+struct ServeOptions {
+  std::uint32_t clients = 4;
+  std::size_t queue_depth = 64;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Replay window width in simulated cycles; 0 derives span/8 + 1 from the
+  /// trace so any trace replays in ~8 ingest windows.
+  std::uint64_t window_cycles = 0;
+  /// Samples drained per client per tick; 0 = queue_depth (empty each tick).
+  std::size_t drain_per_tick = 0;
+  /// Sliding-window buffer capacity per client (oldest samples age out).
+  std::size_t window_capacity = 512;
+  /// Stop admitting new samples at this simulated cycle (0 = replay all).
+  std::uint64_t max_cycles = 0;
+  /// Extra attempts after a failed draw before the operation counts as a
+  /// fault (deterministic exponential backoff between attempts).
+  int max_retries = 2;
+  /// Simulated-cycle penalty of the first retry; doubles per attempt.
+  std::uint64_t backoff_cycles = 100;
+  /// Consecutive faults that trip a client into quarantine.
+  int breaker_threshold = 3;
+  /// Sparse-window guards: a window buffer below these thresholds is
+  /// counted good without consulting the tree (mirrors analyze's sparse
+  /// channel handling).
+  std::size_t min_window_samples = 8;
+  std::size_t min_remote_samples = 2;
+  int jobs = 1;
+  /// Snapshot artifact path ("" = never write one).
+  std::string snapshot_path;
+  /// Rewrite the snapshot every N ticks (0 = final snapshot only).
+  std::uint64_t snapshot_every = 0;
+};
+
+/// Per-client accounting, index-aligned with the session list.
+struct ClientStats {
+  std::uint32_t client = 0;
+  std::uint64_t offered = 0;    ///< samples offered to admission
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;       ///< evicted under shed-oldest
+  std::uint64_t rejected = 0;   ///< refused under reject
+  std::uint64_t deferred = 0;   ///< push-back events under block
+  std::uint64_t dropped = 0;    ///< injected drops + quarantine discards
+  std::uint64_t faults = 0;     ///< operations that exhausted their retries
+  std::uint64_t retries = 0;    ///< extra attempts taken
+  std::uint64_t backoff_cycles = 0;  ///< simulated retry penalty accrued
+  std::uint64_t windows_classified = 0;
+  std::uint64_t windows_rmc = 0;
+  std::uint64_t peak_depth = 0;  ///< queue high-water mark
+  bool quarantined = false;
+  std::uint64_t quarantined_tick = 0;  ///< tick of the breaker trip
+};
+
+struct ServeResult {
+  std::vector<ClientStats> clients;
+  std::uint64_t ticks = 0;
+  std::uint64_t window_cycles = 0;  ///< resolved window width
+  std::uint64_t samples_in = 0;     ///< trace samples routed to sessions
+  std::uint64_t samples_admitted = 0;
+  std::uint64_t samples_shed = 0;
+  std::uint64_t samples_rejected = 0;
+  std::uint64_t samples_deferred = 0;
+  std::uint64_t samples_dropped = 0;
+  std::uint64_t windows_classified = 0;
+  std::uint64_t windows_rmc = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t quarantined_clients = 0;
+  bool degraded = false;  ///< ran pass-through (no usable model)
+  bool drained = true;    ///< false when --max-cycles cut replay short
+  std::uint64_t snapshots_written = 0;
+  std::string snapshot_json;  ///< body of the last snapshot (tests)
+};
+
+/// Renders the deterministic snapshot body for `result` (pure function, no
+/// I/O); Server writes it under the `#drbw-serve-snapshot v1` header.
+std::string render_snapshot(const ServeResult& result);
+
+class Server {
+ public:
+  /// `model` may be null: the server then runs degraded (pass-through
+  /// telemetry, no classification).  `machine` and `model` must outlive the
+  /// server.
+  Server(const topology::Machine& machine, const ml::Classifier* model,
+         ServeOptions options);
+
+  /// Replays `trace` through the serve loop (see file comment).  Byte-for-
+  /// byte deterministic: identical trace + options + fault spec produce an
+  /// identical ServeResult and snapshot at any options.jobs value.
+  ServeResult run(const pebs::Trace& trace);
+
+ private:
+  const topology::Machine& machine_;
+  const ml::Classifier* model_;
+  ServeOptions options_;
+};
+
+}  // namespace drbw::serve

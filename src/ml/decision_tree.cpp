@@ -275,6 +275,16 @@ Label Classifier::predict(const std::vector<double>& raw_row) const {
   return tree_.predict(normalizer_.apply(raw_row));
 }
 
+std::vector<Label> Classifier::predict_batch(
+    const std::vector<std::vector<double>>& raw_rows) const {
+  std::vector<Label> labels;
+  labels.reserve(raw_rows.size());
+  for (const std::vector<double>& row : raw_rows) {
+    labels.push_back(predict(row));
+  }
+  return labels;
+}
+
 std::string Classifier::describe() const {
   return tree_.to_string(feature_names_);
 }

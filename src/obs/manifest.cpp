@@ -54,6 +54,9 @@ std::string RunManifest::to_json() const {
   }
   os << (config.empty() ? "}" : "\n    }") << ",\n";
   os << "    \"fault_spec\": " << quoted(fault_spec) << ",\n";
+  if (degraded) {
+    os << "    \"degraded\": true,\n";
+  }
   render_artifacts(os, "inputs", inputs);
   os << ",\n";
   render_artifacts(os, "outputs", outputs);

@@ -1,0 +1,30 @@
+#include "drbw/pebs/session.hpp"
+
+#include <algorithm>
+
+#include "drbw/util/error.hpp"
+
+namespace drbw::pebs {
+
+std::vector<ClientSession> slice_sessions(const Trace& trace,
+                                          std::uint32_t clients) {
+  if (clients == 0) {
+    throw Error("slice_sessions: clients must be >= 1", ErrorCode::kUsage);
+  }
+  std::vector<ClientSession> sessions(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) sessions[c].client = c;
+  for (std::size_t i = 0; i < trace.samples.size(); ++i) {
+    const MemorySample& sample = trace.samples[i];
+    ClientSession& session = sessions[sample.tid % clients];
+    session.samples.push_back(SessionSample{sample, i});
+  }
+  return sessions;
+}
+
+std::uint64_t trace_cycle_span(const Trace& trace) {
+  std::uint64_t last = 0;
+  for (const MemorySample& s : trace.samples) last = std::max(last, s.cycle);
+  return last;
+}
+
+}  // namespace drbw::pebs

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "drbw/obs/sink.hpp"
+#include "drbw/util/artifact.hpp"
 #include "drbw/util/task_pool.hpp"
 
 namespace drbw::report {
@@ -98,6 +99,8 @@ FleetReport fleet_scan(const std::string& root, const FleetOptions& options) {
     bool corrupt = false;
     std::string error;
     ManifestData manifest;
+    bool serve_snapshot_ok = false;
+    std::vector<FleetServeClient> serve_clients;
   };
   std::vector<Slot> slots(dirs.size());
   util::TaskPool pool(options.jobs);
@@ -109,6 +112,45 @@ FleetReport fleet_scan(const std::string& root, const FleetOptions& options) {
     } catch (const Error& e) {
       slots[i].corrupt = true;
       slots[i].error = e.what();
+      return;
+    }
+    if (slots[i].manifest.subcommand != "serve") return;
+    // Per-client overload accounting lives in the run's serve snapshot, not
+    // the manifest.  A missing or damaged snapshot is tallied, never fatal —
+    // the report layer absorbs what the serve run could not persist.
+    // (The kind/version literals mirror serve::kServeSnapshotVersion; the
+    // report layer deliberately avoids a dependency on the serve headers.)
+    try {
+      const util::VersionedArtifact snapshot = util::read_versioned_artifact(
+          join_root(root, dirs[i]) + "/serve_snapshot.json", "serve-snapshot",
+          1, util::LoadPolicy{});
+      const Json doc = Json::parse(snapshot.body);
+      const Json* clients = doc.find("clients");
+      if (clients != nullptr && clients->is_array()) {
+        for (const Json& entry : clients->as_array()) {
+          if (!entry.is_object()) continue;
+          FleetServeClient row;
+          row.dir = dirs[i];
+          const auto u64 = [&](const char* key) -> std::uint64_t {
+            const Json* node = entry.find(key);
+            return node != nullptr && node->type() == Json::Type::kNumber
+                       ? static_cast<std::uint64_t>(node->as_int())
+                       : 0;
+          };
+          row.client = u64("client");
+          row.shed = u64("shed");
+          row.rejected = u64("rejected");
+          row.dropped = u64("dropped");
+          const Json* quarantined = entry.find("quarantined");
+          row.quarantined = quarantined != nullptr &&
+                            quarantined->type() == Json::Type::kBool &&
+                            quarantined->as_bool();
+          slots[i].serve_clients.push_back(std::move(row));
+        }
+        slots[i].serve_snapshot_ok = true;
+      }
+    } catch (const Error&) {
+      // tallied as serve_snapshots_missing below
     }
   });
 
@@ -160,6 +202,19 @@ FleetReport fleet_scan(const std::string& root, const FleetOptions& options) {
     for (const auto& [site, count] : m.fault_fires) fires[site] += count;
     report.records_quarantined += m.records_quarantined;
     if (m.records_quarantined > 0) ++report.quarantine_runs;
+
+    if (m.subcommand == "serve") {
+      ++report.serve_runs;
+      if (m.degraded) ++report.serve_degraded_runs;
+      if (!slot.serve_snapshot_ok) ++report.serve_snapshots_missing;
+      for (const FleetServeClient& client : slot.serve_clients) {
+        report.serve_shed += client.shed;
+        report.serve_rejected += client.rejected;
+        report.serve_dropped += client.dropped;
+        if (client.quarantined) ++report.serve_quarantined_clients;
+        report.serve_clients.push_back(client);
+      }
+    }
 
     if (scan_regressions && !failed) {
       ++report.regression_scanned;
@@ -238,6 +293,27 @@ std::string render_fleet_markdown(const FleetReport& report) {
     os << "\n## Quarantine\n\n" << report.records_quarantined
        << " record(s) quarantined across " << report.quarantine_runs
        << " run(s)\n";
+  }
+  if (report.serve_runs > 0) {
+    os << "\n## Serve\n\n" << report.serve_runs << " serve run(s): "
+       << report.serve_degraded_runs << " degraded, "
+       << report.serve_quarantined_clients << " client(s) quarantined, "
+       << report.serve_shed << " sample(s) shed, " << report.serve_rejected
+       << " rejected, " << report.serve_dropped << " dropped";
+    if (report.serve_snapshots_missing > 0) {
+      os << "; " << report.serve_snapshots_missing
+         << " run(s) without a loadable serve snapshot";
+    }
+    os << '\n';
+    if (!report.serve_clients.empty()) {
+      os << "\n| run | client | shed | rejected | dropped | quarantined |\n"
+            "|---|---:|---:|---:|---:|---|\n";
+      for (const FleetServeClient& c : report.serve_clients) {
+        os << "| " << md_cell(c.dir) << " | " << c.client << " | " << c.shed
+           << " | " << c.rejected << " | " << c.dropped << " | "
+           << (c.quarantined ? "yes" : "no") << " |\n";
+      }
+    }
   }
   if (!report.options.baseline_path.empty()) {
     os << "\n## Regression scan\n\nbaseline `" << report.options.baseline_path
@@ -328,6 +404,30 @@ std::string render_fleet_json(const FleetReport& report) {
   quarantine.set("records", report.records_quarantined);
   quarantine.set("runs", report.quarantine_runs);
   golden.set("quarantine", std::move(quarantine));
+
+  if (report.serve_runs > 0) {
+    Json serve = JsonObject{};
+    serve.set("runs", report.serve_runs);
+    serve.set("degraded_runs", report.serve_degraded_runs);
+    serve.set("snapshots_missing", report.serve_snapshots_missing);
+    serve.set("shed", report.serve_shed);
+    serve.set("rejected", report.serve_rejected);
+    serve.set("dropped", report.serve_dropped);
+    serve.set("quarantined_clients", report.serve_quarantined_clients);
+    Json clients = JsonArray{};
+    for (const FleetServeClient& c : report.serve_clients) {
+      Json entry = JsonObject{};
+      entry.set("run", c.dir);
+      entry.set("client", c.client);
+      entry.set("shed", c.shed);
+      entry.set("rejected", c.rejected);
+      entry.set("dropped", c.dropped);
+      entry.set("quarantined", c.quarantined);
+      clients.push_back(std::move(entry));
+    }
+    serve.set("clients", std::move(clients));
+    golden.set("serve", std::move(serve));
+  }
 
   Json regressions = JsonArray{};
   for (const FleetRegression& reg : report.regressions) {

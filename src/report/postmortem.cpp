@@ -91,6 +91,9 @@ ManifestData load_manifest(const std::string& path) {
   const Json* context = m.document.find("context");
   m.subcommand = str_or(find_in(golden, "subcommand"), "");
   m.fault_spec = str_or(find_in(golden, "fault_spec"), "");
+  if (const Json* degraded = find_in(golden, "degraded")) {
+    m.degraded = degraded->type() == Json::Type::kBool && degraded->as_bool();
+  }
   if (const Json* outcome = find_in(golden, "outcome")) {
     m.status = str_or(outcome->find("status"), "ok");
     m.error_code = str_or(outcome->find("error_code"), "");
@@ -312,6 +315,44 @@ DoctorReport doctor(const std::string& run_dir) {
           "regenerate the artifact; per-record validation caught what it "
           "could");
     }
+    if (m.degraded) {
+      add("run completed DEGRADED",
+          "the manifest records degraded=true: `drbw serve` could not load "
+          "a usable model and fell back to pass-through telemetry (no "
+          "window was classified)",
+          "re-train the model (`drbw train --out model.json`) or point "
+          "--model at an intact artifact, then replay the trace");
+    }
+    if (m.subcommand == "serve") {
+      const auto counter = [&](const char* name) {
+        for (const auto& [key, value] : m.counters) {
+          if (key == name) return value;
+        }
+        return 0.0;
+      };
+      const double quarantined =
+          counter("drbw_serve_clients_quarantined_total");
+      if (quarantined > 0) {
+        add("clients quarantined by the circuit breaker",
+            std::to_string(static_cast<std::uint64_t>(quarantined)) +
+                " client(s) hit " + "consecutive-fault quarantine; their "
+                "remaining samples were discarded (see "
+                "drbw_serve_samples_dropped_total)",
+            "inspect the fired serve.* sites above; raise --max-retries or "
+            "--breaker-threshold if transient faults should be ridden out");
+      }
+      const double shed = counter("drbw_serve_samples_shed_total");
+      const double rejected = counter("drbw_serve_samples_rejected_total");
+      if (shed > 0 || rejected > 0) {
+        add("ingest queues overflowed",
+            std::to_string(static_cast<std::uint64_t>(shed)) +
+                " sample(s) shed and " +
+                std::to_string(static_cast<std::uint64_t>(rejected)) +
+                " rejected under overload",
+            "raise --queue-depth or --drain-rate, or switch --overload to "
+            "block if losing samples is worse than added latency");
+      }
+    }
     if (!m.fault_fires.empty()) {
       add("fault sites fired on a passing run",
           "fired: " + render_fire_list(m.fault_fires),
@@ -340,15 +381,18 @@ DoctorReport doctor(const std::string& run_dir) {
     std::sort(siblings.begin(), siblings.end());
     if (!siblings.empty()) {
       std::size_t same_token = 0;
-      if (m.status == "error" && !m.error_code.empty()) {
-        for (const fs::path& sibling : siblings) {
-          try {
-            const ManifestData other = load_manifest(
-                (sibling / obs::kManifestFileName).string());
-            if (other.error_code == m.error_code) ++same_token;
-          } catch (const Error&) {
-            // A corrupt sibling manifest is the fleet tool's problem.
+      std::size_t degraded_siblings = 0;
+      for (const fs::path& sibling : siblings) {
+        try {
+          const ManifestData other = load_manifest(
+              (sibling / obs::kManifestFileName).string());
+          if (m.status == "error" && !m.error_code.empty() &&
+              other.error_code == m.error_code) {
+            ++same_token;
           }
+          if (other.degraded) ++degraded_siblings;
+        } catch (const Error&) {
+          // A corrupt sibling manifest is the fleet tool's problem.
         }
       }
       std::string evidence = std::to_string(siblings.size()) +
@@ -357,6 +401,10 @@ DoctorReport doctor(const std::string& run_dir) {
       if (m.status == "error" && !m.error_code.empty()) {
         evidence += "; " + std::to_string(same_token) +
                     " share error token '" + m.error_code + "'";
+      }
+      if (degraded_siblings > 0) {
+        evidence += "; " + std::to_string(degraded_siblings) +
+                    " sibling(s) ran degraded";
       }
       add("this run dir is part of a corpus", evidence,
           "aggregate all of them with `drbw fleet " + parent.string() + "`");

@@ -1,0 +1,495 @@
+#include "drbw/serve/server.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "drbw/core/profiler.hpp"
+#include "drbw/fault/injector.hpp"
+#include "drbw/features/selected.hpp"
+#include "drbw/obs/metrics.hpp"
+#include "drbw/obs/trace.hpp"
+#include "drbw/util/artifact.hpp"
+#include "drbw/util/task_pool.hpp"
+
+namespace drbw::serve {
+
+namespace {
+
+/// Page locator for replayed streams: every recorded allocation range is
+/// homed on node 0 (the master-allocation default), like the CLI's offline
+/// analyze path.  Read-only after construction, so concurrent locate()
+/// calls from classify tasks are safe.
+class ReplayLocator final : public core::PageLocator {
+ public:
+  explicit ReplayLocator(const std::vector<mem::AllocationEvent>& events) {
+    for (const auto& e : events) {
+      if (e.kind == mem::AllocationEvent::Kind::kAlloc) {
+        ranges_[e.base] = e.base + e.size_bytes;
+      }
+    }
+  }
+  topology::NodeId locate(mem::Addr addr, topology::NodeId) override {
+    auto it = ranges_.upper_bound(addr);
+    if (it != ranges_.begin()) {
+      --it;
+      if (addr < it->second) return 0;
+    }
+    return 0;
+  }
+
+ private:
+  std::map<mem::Addr, mem::Addr> ranges_;
+};
+
+/// One deterministic retry loop: `draw(attempt)` returns true when the
+/// injected fault fires for that attempt.  Success on any attempt makes the
+/// operation ok; every extra attempt costs an exponentially growing
+/// simulated-cycle backoff penalty.
+struct RetryOutcome {
+  bool ok = false;
+  std::uint64_t retries = 0;
+  std::uint64_t backoff_cycles = 0;
+};
+
+template <typename Draw>
+RetryOutcome attempt_with_backoff(int max_retries, std::uint64_t backoff_base,
+                                  Draw&& draw) {
+  RetryOutcome out;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    if (!draw(static_cast<std::uint64_t>(attempt))) {
+      out.ok = true;
+      return out;
+    }
+    if (attempt < max_retries) {
+      ++out.retries;
+      out.backoff_cycles += backoff_base << static_cast<unsigned>(attempt);
+    }
+  }
+  return out;
+}
+
+/// Mutable per-client replay state around the public ClientStats.
+struct ClientState {
+  ClientStats stats;
+  std::size_t cursor = 0;  ///< next unconsumed session sample
+  std::vector<pebs::SessionSample> deferred;  ///< pushed back under block
+  std::vector<pebs::SessionSample> buffer;    ///< sliding classify window
+  int consecutive_faults = 0;
+};
+
+const char* bool_token(bool v) { return v ? "true" : "false"; }
+
+}  // namespace
+
+std::string render_snapshot(const ServeResult& r) {
+  std::ostringstream os;
+  os << "{\n  \"drbw_serve_snapshot\": " << kServeSnapshotVersion << ",\n";
+  os << "  \"degraded\": " << bool_token(r.degraded) << ",\n";
+  os << "  \"drained\": " << bool_token(r.drained) << ",\n";
+  os << "  \"ticks\": " << r.ticks << ",\n";
+  os << "  \"window_cycles\": " << r.window_cycles << ",\n";
+  os << "  \"samples\": {\"in\": " << r.samples_in
+     << ", \"admitted\": " << r.samples_admitted
+     << ", \"shed\": " << r.samples_shed
+     << ", \"rejected\": " << r.samples_rejected
+     << ", \"deferred\": " << r.samples_deferred
+     << ", \"dropped\": " << r.samples_dropped << "},\n";
+  os << "  \"windows\": {\"classified\": " << r.windows_classified
+     << ", \"rmc\": " << r.windows_rmc << "},\n";
+  os << "  \"faults\": {\"total\": " << r.faults
+     << ", \"retries\": " << r.retries
+     << ", \"quarantined_clients\": " << r.quarantined_clients << "},\n";
+  os << "  \"clients\": [";
+  for (std::size_t i = 0; i < r.clients.size(); ++i) {
+    const ClientStats& c = r.clients[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"client\": " << c.client
+       << ", \"offered\": " << c.offered << ", \"admitted\": " << c.admitted
+       << ", \"shed\": " << c.shed << ", \"rejected\": " << c.rejected
+       << ", \"deferred\": " << c.deferred << ", \"dropped\": " << c.dropped
+       << ", \"faults\": " << c.faults << ", \"retries\": " << c.retries
+       << ", \"backoff_cycles\": " << c.backoff_cycles
+       << ", \"windows_classified\": " << c.windows_classified
+       << ", \"windows_rmc\": " << c.windows_rmc
+       << ", \"peak_depth\": " << c.peak_depth
+       << ", \"quarantined\": " << bool_token(c.quarantined)
+       << ", \"quarantined_tick\": " << c.quarantined_tick << "}";
+  }
+  os << (r.clients.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+Server::Server(const topology::Machine& machine, const ml::Classifier* model,
+               ServeOptions options)
+    : machine_(machine), model_(model), options_(std::move(options)) {}
+
+ServeResult Server::run(const pebs::Trace& trace) {
+  const std::uint32_t clients = std::max<std::uint32_t>(1, options_.clients);
+  const std::size_t queue_depth = std::max<std::size_t>(1, options_.queue_depth);
+  const std::size_t drain_n =
+      options_.drain_per_tick == 0 ? queue_depth : options_.drain_per_tick;
+  const int breaker = std::max(1, options_.breaker_threshold);
+  const std::uint64_t span = pebs::trace_cycle_span(trace);
+  const std::uint64_t window =
+      options_.window_cycles == 0 ? span / 8 + 1 : options_.window_cycles;
+
+  const std::vector<pebs::ClientSession> sessions =
+      pebs::slice_sessions(trace, clients);
+  ReplayLocator locator(trace.events);
+  util::TaskPool pool(options_.jobs);
+
+  std::vector<ClientState> states(clients);
+  // deque: BoundedQueue is immovable (owns a mutex), and deque constructs
+  // elements in place without relocating the existing ones.
+  std::deque<BoundedQueue> queues;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    states[c].stats.client = c;
+    queues.emplace_back(queue_depth, options_.overload);
+  }
+
+  ServeResult result;
+  result.degraded = model_ == nullptr;
+  result.window_cycles = window;
+  result.samples_in = trace.samples.size();
+
+  // Trip the circuit breaker: quarantine the client and discard everything
+  // it still holds (queued, deferred, and unconsumed session samples).
+  const auto record_fault = [&](std::uint32_t c, std::uint64_t tick) {
+    ClientState& st = states[c];
+    ++st.stats.faults;
+    ++st.consecutive_faults;
+    if (!st.stats.quarantined && st.consecutive_faults >= breaker) {
+      st.stats.quarantined = true;
+      st.stats.quarantined_tick = tick;
+      st.stats.dropped += queues[c].drain(queue_depth).size();
+      st.stats.dropped += st.deferred.size();
+      st.deferred.clear();
+      st.stats.dropped += sessions[c].samples.size() - st.cursor;
+      st.cursor = sessions[c].samples.size();
+      st.buffer.clear();
+    }
+  };
+
+  // Generous termination backstop: the loop below always makes progress
+  // (every tick consumes arrivals, drains queues, or trips a breaker), but
+  // a hard cap turns any future regression into a truncated-run result
+  // instead of a hang.
+  const std::uint64_t hard_cap =
+      span / window + static_cast<std::uint64_t>(trace.samples.size()) + 16;
+
+  struct Slot {
+    bool candidate = false;
+    bool window_fault = false;
+    bool classify_fault = false;
+    bool rmc = false;
+    std::uint64_t retries = 0;
+    std::uint64_t backoff_cycles = 0;
+  };
+
+  std::uint64_t tick = 0;
+  for (;; ++tick) {
+    bool pending = false;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      const ClientState& st = states[c];
+      if (st.stats.quarantined) continue;
+      if (st.cursor < sessions[c].samples.size() || !st.deferred.empty() ||
+          queues[c].size() > 0) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) break;
+    const std::uint64_t window_start = tick * window;
+    if ((options_.max_cycles != 0 && window_start >= options_.max_cycles) ||
+        tick >= hard_cap) {
+      // Replay cut short: account every unserved sample so the snapshot
+      // still balances, then stop cleanly (the caller still snapshots).
+      result.drained = false;
+      for (std::uint32_t c = 0; c < clients; ++c) {
+        ClientState& st = states[c];
+        if (st.stats.quarantined) continue;
+        st.stats.dropped += queues[c].drain(queue_depth).size();
+        st.stats.dropped += st.deferred.size();
+        st.deferred.clear();
+        st.stats.dropped += sessions[c].samples.size() - st.cursor;
+        st.cursor = sessions[c].samples.size();
+      }
+      break;
+    }
+    const std::uint64_t window_end = window_start + window;
+
+    obs::Span tick_span("serve.tick");
+    tick_span.arg("tick", static_cast<double>(tick));
+
+    // -- admission (serial, client then ordinal order) ---------------------
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      ClientState& st = states[c];
+      if (st.stats.quarantined) continue;
+      const std::vector<pebs::SessionSample>& stream = sessions[c].samples;
+      const bool has_arrival =
+          st.cursor < stream.size() && stream[st.cursor].sample.cycle < window_end;
+      if (!has_arrival && st.deferred.empty()) continue;
+
+      // Session-level gate: one retryable draw per client-window.
+      const std::uint64_t session_key =
+          tick * static_cast<std::uint64_t>(clients) + c;
+      const RetryOutcome session = attempt_with_backoff(
+          options_.max_retries, options_.backoff_cycles,
+          [&](std::uint64_t attempt) {
+            return fault::should_inject("serve.session", fault::Kind::kFail,
+                                        session_key * 16 + attempt);
+          });
+      st.stats.retries += session.retries;
+      st.stats.backoff_cycles += session.backoff_cycles;
+      if (!session.ok) {
+        // The whole window's admission is skipped; arrivals stay pending
+        // and are re-offered next tick (the breaker bounds how long).
+        record_fault(c, tick);
+        continue;
+      }
+      st.consecutive_faults = 0;
+
+      std::vector<pebs::SessionSample> offers;
+      offers.swap(st.deferred);
+      while (st.cursor < stream.size() &&
+             stream[st.cursor].sample.cycle < window_end) {
+        offers.push_back(stream[st.cursor]);
+        ++st.cursor;
+      }
+      for (const pebs::SessionSample& sample : offers) {
+        if (st.stats.quarantined) {
+          ++st.stats.dropped;
+          continue;
+        }
+        ++st.stats.offered;
+        if (fault::should_inject("serve.ingest", fault::Kind::kDropSample,
+                                 sample.ordinal)) {
+          ++st.stats.dropped;
+          continue;
+        }
+        const RetryOutcome ingest = attempt_with_backoff(
+            options_.max_retries, options_.backoff_cycles,
+            [&](std::uint64_t attempt) {
+              return fault::should_inject("serve.ingest", fault::Kind::kFail,
+                                          sample.ordinal * 16 + attempt);
+            });
+        st.stats.retries += ingest.retries;
+        st.stats.backoff_cycles += ingest.backoff_cycles;
+        if (!ingest.ok) {
+          ++st.stats.dropped;
+          record_fault(c, tick);
+          continue;
+        }
+        switch (queues[c].push(sample)) {
+          case AdmitResult::kAdmitted:
+          case AdmitResult::kShed:
+            st.consecutive_faults = 0;
+            break;
+          case AdmitResult::kDeferred:
+            st.deferred.push_back(sample);
+            break;
+          case AdmitResult::kRejected:
+            break;
+        }
+      }
+    }
+
+    // -- drain into sliding windows (serial) -------------------------------
+    std::vector<Slot> slots(clients);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      ClientState& st = states[c];
+      if (st.stats.quarantined) continue;
+      const std::vector<pebs::SessionSample> batch = queues[c].drain(drain_n);
+      if (batch.empty()) continue;
+      st.buffer.insert(st.buffer.end(), batch.begin(), batch.end());
+      if (st.buffer.size() > options_.window_capacity) {
+        st.buffer.erase(st.buffer.begin(),
+                        st.buffer.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                st.buffer.size() - options_.window_capacity));
+      }
+      if (model_ != nullptr) slots[c].candidate = true;
+    }
+
+    // -- classify (indexed fan-out; applied serially below) ----------------
+    pool.parallel_for(clients, [&](std::size_t i) {
+      Slot& slot = slots[i];
+      if (!slot.candidate) return;
+      const std::uint64_t key =
+          tick * static_cast<std::uint64_t>(clients) + i;
+      const RetryOutcome featurize = attempt_with_backoff(
+          options_.max_retries, options_.backoff_cycles,
+          [&](std::uint64_t attempt) {
+            return fault::should_inject("serve.window", fault::Kind::kFail,
+                                        key * 16 + attempt);
+          });
+      slot.retries += featurize.retries;
+      slot.backoff_cycles += featurize.backoff_cycles;
+      if (!featurize.ok) {
+        slot.window_fault = true;
+        return;
+      }
+      std::vector<pebs::MemorySample> samples;
+      samples.reserve(states[i].buffer.size());
+      for (const pebs::SessionSample& s : states[i].buffer) {
+        samples.push_back(s.sample);
+      }
+      core::Profiler profiler(machine_, locator);
+      const core::ProfileResult profile =
+          profiler.profile(trace.events, samples);
+      const std::vector<features::ChannelFeatures> channels =
+          features::extract_channels(profile, machine_);
+      std::vector<std::vector<double>> rows;
+      for (const features::ChannelFeatures& ch : channels) {
+        if (ch.features.scope_samples < options_.min_window_samples) continue;
+        if (ch.features.values[5] <
+            static_cast<double>(options_.min_remote_samples)) {
+          continue;
+        }
+        rows.push_back(ch.features.as_row());
+      }
+      const RetryOutcome classify = attempt_with_backoff(
+          options_.max_retries, options_.backoff_cycles,
+          [&](std::uint64_t attempt) {
+            return fault::should_inject("serve.classify", fault::Kind::kFail,
+                                        key * 16 + attempt);
+          });
+      slot.retries += classify.retries;
+      slot.backoff_cycles += classify.backoff_cycles;
+      if (!classify.ok) {
+        slot.classify_fault = true;
+        return;
+      }
+      if (!rows.empty()) {
+        for (const ml::Label label : model_->predict_batch(rows)) {
+          if (label == ml::Label::kRmc) slot.rmc = true;
+        }
+      }
+    });
+
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      const Slot& slot = slots[c];
+      if (!slot.candidate) continue;
+      ClientState& st = states[c];
+      st.stats.retries += slot.retries;
+      st.stats.backoff_cycles += slot.backoff_cycles;
+      if (slot.window_fault || slot.classify_fault) {
+        record_fault(c, tick);
+        continue;
+      }
+      st.consecutive_faults = 0;
+      ++st.stats.windows_classified;
+      if (slot.rmc) ++st.stats.windows_rmc;
+    }
+
+    result.ticks = tick + 1;
+    if (!options_.snapshot_path.empty() && options_.snapshot_every != 0 &&
+        (tick + 1) % options_.snapshot_every == 0) {
+      ServeResult partial = result;
+      for (std::uint32_t c = 0; c < clients; ++c) {
+        states[c].stats.peak_depth = queues[c].peak();
+        partial.clients.push_back(states[c].stats);
+      }
+      obs::Span snap_span("serve.snapshot");
+      partial.snapshot_json = render_snapshot(partial);
+      util::write_versioned_artifact(options_.snapshot_path, "serve-snapshot",
+                                     kServeSnapshotVersion,
+                                     partial.snapshot_json);
+      ++result.snapshots_written;
+    }
+  }
+
+  // -- final accounting ----------------------------------------------------
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    ClientStats& st = states[c].stats;
+    st.admitted = queues[c].admitted();
+    st.shed = queues[c].shed();
+    st.rejected = queues[c].rejected();
+    st.deferred = queues[c].deferred();
+    st.peak_depth = queues[c].peak();
+    result.samples_admitted += st.admitted;
+    result.samples_shed += st.shed;
+    result.samples_rejected += st.rejected;
+    result.samples_deferred += st.deferred;
+    result.samples_dropped += st.dropped;
+    result.windows_classified += st.windows_classified;
+    result.windows_rmc += st.windows_rmc;
+    result.faults += st.faults;
+    result.retries += st.retries;
+    if (st.quarantined) ++result.quarantined_clients;
+    result.clients.push_back(st);
+  }
+
+  auto& registry = obs::Registry::global();
+  registry
+      .counter("drbw_serve_samples_ingested_total",
+               "Trace samples routed into client sessions by drbw serve")
+      .add(result.samples_in);
+  registry
+      .counter("drbw_serve_samples_admitted_total",
+               "Samples admitted through the bounded client queues")
+      .add(result.samples_admitted);
+  registry
+      .counter("drbw_serve_samples_shed_total",
+               "Oldest queued samples evicted under the shed-oldest policy")
+      .add(result.samples_shed);
+  registry
+      .counter("drbw_serve_samples_rejected_total",
+               "Samples refused by a full queue under the reject policy")
+      .add(result.samples_rejected);
+  registry
+      .counter("drbw_serve_samples_deferred_total",
+               "Push-back events on a full queue under the block policy")
+      .add(result.samples_deferred);
+  registry
+      .counter("drbw_serve_samples_dropped_total",
+               "Samples lost to injected drops, exhausted retries, "
+               "quarantine, or a --max-cycles cutoff")
+      .add(result.samples_dropped);
+  registry
+      .counter("drbw_serve_windows_classified_total",
+               "Sliding windows featurized and classified by drbw serve")
+      .add(result.windows_classified);
+  registry
+      .counter("drbw_serve_windows_rmc_total",
+               "Classified windows with at least one contended channel")
+      .add(result.windows_rmc);
+  registry
+      .counter("drbw_serve_ticks_total",
+               "Replay ticks (ingest windows) executed by drbw serve")
+      .add(result.ticks);
+  registry
+      .counter("drbw_serve_faults_total",
+               "Serve operations that exhausted their retries")
+      .add(result.faults);
+  registry
+      .counter("drbw_serve_retries_total",
+               "Extra attempts taken by the serve retry-with-backoff loops")
+      .add(result.retries);
+  registry
+      .counter("drbw_serve_clients_quarantined_total",
+               "Clients tripped into quarantine by the circuit breaker")
+      .add(result.quarantined_clients);
+  std::uint64_t peak = 0;
+  for (const ClientStats& st : result.clients) {
+    peak = std::max(peak, st.peak_depth);
+  }
+  registry
+      .gauge("drbw_serve_queue_depth_peak",
+             "High-water mark across every client ingest queue")
+      .set_max(static_cast<double>(peak));
+
+  if (!options_.snapshot_path.empty()) {
+    obs::Span snap_span("serve.snapshot");
+    result.snapshot_json = render_snapshot(result);
+    util::write_versioned_artifact(options_.snapshot_path, "serve-snapshot",
+                                   kServeSnapshotVersion, result.snapshot_json);
+    ++result.snapshots_written;
+  } else {
+    result.snapshot_json = render_snapshot(result);
+  }
+  return result;
+}
+
+}  // namespace drbw::serve

@@ -25,6 +25,20 @@
 //       benchmark's layout from the trace's allocation events
 //       (bind-to-node-0 fallback for unknown ranges).
 //
+//   drbw serve    --replay trace.csv [--model model.json] [--clients N]
+//                 [--queue-depth D] [--overload block|shed-oldest|reject]
+//                 [--window-cycles W] [--drain-rate R] [--max-cycles C]
+//                 [--max-retries K] [--breaker-threshold K]
+//                 [--snapshot-out FILE] [--snapshot-every N] [--jobs N]
+//       Online contention detection: replay a recorded trace as N simulated
+//       client streams through bounded ingest queues, sliding-window
+//       featurization, and incremental classification.  Overload behaviour
+//       is an explicit policy; failed operations retry with deterministic
+//       backoff and a circuit breaker quarantines misbehaving clients.
+//       With a missing/corrupt --model the server degrades to pass-through
+//       telemetry and still exits 0 (the manifest records degraded=true).
+//       A checksummed serve_snapshot.json lands in --run-dir either way.
+//
 //   drbw convert  --in trace.csv --out trace.bin [--format csv|binary]
 //                 [--shards N] [--jobs N]
 //       Re-encode a trace artifact: csv <-> binary, shard or unshard.  The
@@ -71,7 +85,7 @@
 //       ingest).  A directory folds its flight.log; a file is either a
 //       flight dump or a trace_event JSON from --trace-out.
 //
-// train/record/analyze additionally accept --trace-out FILE (Chrome
+// train/record/analyze/serve additionally accept --trace-out FILE (Chrome
 // trace_event JSON), --metrics-out FILE (.json => JSON, else Prometheus
 // text), --timing sim|wall (wall-clock span durations; marks the trace
 // non-golden), --inject-faults SPEC (deterministic fault injection,
@@ -94,6 +108,7 @@
 #include <filesystem>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "drbw/drbw.hpp"
@@ -106,6 +121,7 @@
 #include "drbw/report/fleet.hpp"
 #include "drbw/report/markdown.hpp"
 #include "drbw/report/postmortem.hpp"
+#include "drbw/serve/server.hpp"
 #include "drbw/util/artifact.hpp"
 #include "drbw/util/ascii_chart.hpp"
 #include "drbw/util/cli.hpp"
@@ -160,7 +176,8 @@ struct RunSession {
         "deterministic fault spec: seed=N,site:kind:rate,... (sites: "
         "pebs.sample, engine.epoch, trace.read, trace.write, "
         "trace.shard.read, trace.shard.write, model.write, artifact.write, "
-        "diagnose.cf, report.render; kinds: drop, corrupt, truncate, "
+        "diagnose.cf, report.render, serve.ingest, serve.session, "
+        "serve.window, serve.classify; kinds: drop, corrupt, truncate, "
         "malform, short-write, fail)",
         "");
     parser.add_option("run-dir",
@@ -236,6 +253,10 @@ struct RunSession {
   void note_output(const std::string& role, const std::string& path) {
     manifest_.outputs.push_back(make_ref(role, path));
   }
+
+  /// Marks the run as degraded (completed in a reduced mode, e.g. serve
+  /// without a usable model); recorded in the manifest's golden block.
+  void set_degraded(bool degraded) { manifest_.degraded = degraded; }
 
   void set_load_stats(const util::LoadStats& stats) {
     manifest_.has_load_stats = true;
@@ -649,6 +670,197 @@ int cmd_analyze(int argc, char** argv) {
       any |= v.rmc;
     }
     return session.finish(any ? 2 : 0);
+  } catch (const Error& e) {
+    return session.fail(e);
+  } catch (const std::exception& e) {
+    return session.fail(Error(e.what()));
+  }
+}
+
+int cmd_serve(int argc, char** argv) {
+  ArgParser parser("drbw serve",
+                   "Replay a recorded trace through the online serving loop");
+  parser.add_option("replay", "trace file from `drbw record`",
+                    "drbw_trace.csv");
+  parser.add_option("model",
+                    "trained model (empty = train now; a missing or corrupt "
+                    "model degrades the server to pass-through telemetry "
+                    "instead of failing)",
+                    "");
+  parser.add_option("clients", "simulated client streams", "4");
+  parser.add_option("queue-depth", "bounded ingest queue depth per client",
+                    "64");
+  parser.add_option("overload",
+                    "block | shed-oldest | reject: what a full queue does "
+                    "with the next sample",
+                    "block");
+  parser.add_option("window-cycles",
+                    "replay window width in simulated cycles (0 = derive "
+                    "~8 windows from the trace span)",
+                    "0");
+  parser.add_option("drain-rate",
+                    "samples drained per client per tick (0 = queue depth)",
+                    "0");
+  parser.add_option("window-capacity",
+                    "sliding classification window capacity per client",
+                    "512");
+  parser.add_option("max-cycles",
+                    "stop admitting at this simulated cycle (0 = replay all)",
+                    "0");
+  parser.add_option("max-retries",
+                    "retries with deterministic backoff before an operation "
+                    "counts as a fault",
+                    "2");
+  parser.add_option("backoff-cycles",
+                    "simulated-cycle penalty of the first retry (doubles per "
+                    "attempt)",
+                    "100");
+  parser.add_option("breaker-threshold",
+                    "consecutive faults that quarantine a client", "3");
+  parser.add_option("snapshot-out",
+                    "checksummed serve snapshot path (empty = "
+                    "<run-dir>/serve_snapshot.json)",
+                    "");
+  parser.add_option("snapshot-every",
+                    "rewrite the snapshot every N ticks (0 = final only)",
+                    "0");
+  parser.add_option("load-mode",
+                    "strict (reject the first malformed record) | lenient "
+                    "(quarantine malformed records, escalate past "
+                    "--max-bad-fraction)",
+                    "strict");
+  parser.add_option("max-bad-fraction",
+                    "lenient only: tolerated quarantined/seen record "
+                    "fraction before the load fails as corrupt",
+                    "0.25");
+  parser.add_option("jobs",
+                    "parallel window classifiers (0 = one per hardware "
+                    "thread); snapshots, metrics, and the manifest are "
+                    "byte-identical at any value",
+                    "1");
+  RunSession::add_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  RunSession session("serve", parser);
+  session.begin();
+  try {
+    session.stage("load");
+    util::LoadPolicy policy;
+    try {
+      policy = util::load_policy_from_name(
+          parser.option("load-mode"), parser.option_double("max-bad-fraction"));
+    } catch (const Error& e) {
+      throw UsageError(std::string("--load-mode: ") + e.what());
+    }
+    serve::ServeOptions opts;
+    try {
+      opts.overload = serve::overload_policy_from_name(parser.option("overload"));
+    } catch (const Error& e) {
+      throw UsageError(std::string("--overload: ") + e.what());
+    }
+    const long long clients = parser.option_int("clients");
+    if (clients < 1) {
+      throw UsageError("--clients must be >= 1, got '" +
+                       parser.option("clients") + "'");
+    }
+    opts.clients = static_cast<std::uint32_t>(clients);
+    const long long depth = parser.option_int("queue-depth");
+    if (depth < 1) {
+      throw UsageError("--queue-depth must be >= 1, got '" +
+                       parser.option("queue-depth") + "'");
+    }
+    opts.queue_depth = static_cast<std::size_t>(depth);
+    opts.window_cycles =
+        static_cast<std::uint64_t>(parser.option_int("window-cycles"));
+    opts.drain_per_tick =
+        static_cast<std::size_t>(parser.option_int("drain-rate"));
+    opts.window_capacity = static_cast<std::size_t>(
+        std::max<long long>(1, parser.option_int("window-capacity")));
+    opts.max_cycles =
+        static_cast<std::uint64_t>(parser.option_int("max-cycles"));
+    opts.max_retries =
+        static_cast<int>(std::max<long long>(0, parser.option_int("max-retries")));
+    opts.backoff_cycles =
+        static_cast<std::uint64_t>(parser.option_int("backoff-cycles"));
+    opts.breaker_threshold = static_cast<int>(
+        std::max<long long>(1, parser.option_int("breaker-threshold")));
+    opts.snapshot_every =
+        static_cast<std::uint64_t>(parser.option_int("snapshot-every"));
+    opts.jobs = static_cast<int>(parser.option_int("jobs"));
+    std::string run_dir = parser.option("run-dir");
+    if (run_dir.empty()) run_dir = ".";
+    opts.snapshot_path = parser.option("snapshot-out").empty()
+                             ? run_dir + "/serve_snapshot.json"
+                             : parser.option("snapshot-out");
+
+    pebs::LoadOptions load;
+    load.policy = policy;
+    load.jobs = opts.jobs;
+    util::require_input_file(parser.option("replay"), "trace file");
+    const std::vector<std::string> trace_files =
+        pebs::trace_artifact_paths(parser.option("replay"));
+    session.note_input("trace-in", trace_files.front());
+    for (std::size_t i = 1; i < trace_files.size(); ++i) {
+      session.note_input("trace-shard-in", trace_files[i]);
+    }
+    util::LoadStats load_stats;
+    pebs::Trace trace;
+    try {
+      trace = pebs::load_trace(parser.option("replay"), load, &load_stats);
+    } catch (...) {
+      session.set_load_stats(load_stats);
+      throw;
+    }
+    session.set_load_stats(load_stats);
+    std::cout << "loaded " << trace.samples.size() << " samples, "
+              << trace.events.size() << " allocation events\n";
+
+    // Graceful degradation: a model that cannot be loaded (missing file,
+    // unparseable JSON, checksum damage, newer format) must not take the
+    // server down — classification is skipped, telemetry still flows.
+    const auto machine = topology::Machine::xeon_e5_4650();
+    std::optional<ml::Classifier> model;
+    if (parser.option("model").empty()) {
+      model = workloads::train_default_classifier(machine);
+    } else {
+      session.note_input("model-in", parser.option("model"));
+      try {
+        model = ml::Classifier::load(parser.option("model"), policy);
+      } catch (const Error& e) {
+        std::cerr << "drbw serve: degraded to pass-through telemetry: "
+                  << e.what() << '\n';
+      }
+    }
+
+    session.stage("serve");
+    serve::Server server(machine, model.has_value() ? &*model : nullptr, opts);
+    const serve::ServeResult result = server.run(trace);
+    session.set_degraded(result.degraded);
+
+    std::cout << "served " << result.ticks << " ticks x "
+              << result.window_cycles << " cycles across " << result.clients.size()
+              << " clients (" << serve::overload_policy_name(opts.overload)
+              << "): " << result.samples_admitted << " admitted, "
+              << result.samples_shed << " shed, " << result.samples_rejected
+              << " rejected, " << result.samples_dropped << " dropped\n";
+    std::cout << "classified " << result.windows_classified << " windows ("
+              << result.windows_rmc << " contended), " << result.faults
+              << " faults, " << result.retries << " retries, "
+              << result.quarantined_clients << " clients quarantined\n";
+    if (result.degraded) {
+      std::cout << "DEGRADED: no usable model; classification skipped\n";
+    }
+    if (!result.drained) {
+      std::cout << "replay cut short at --max-cycles "
+                << opts.max_cycles << "; remaining samples dropped\n";
+    }
+    std::cout << "serve snapshot (" << result.snapshots_written
+              << " writes) at " << opts.snapshot_path << '\n';
+    session.note_output("serve-snapshot-out", opts.snapshot_path);
+
+    session.stage("persist");
+    // A degraded run still exits 0: serve is a telemetry loop, not a
+    // verdict tool, and "kept serving without a model" is the contract.
+    return session.finish(0);
   } catch (const Error& e) {
     return session.fail(e);
   } catch (const std::exception& e) {
@@ -1143,8 +1355,8 @@ int cmd_flame(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: drbw <train|record|analyze|convert|inspect|topology|stats|"
-      "doctor|fleet|flame> [options]\n"
+      "usage: drbw <train|record|analyze|serve|convert|inspect|topology|"
+      "stats|doctor|fleet|flame> [options]\n"
       "       drbw perf diff <baseline/run.json> <after/run.json>...\n"
       "       drbw <subcommand> --help for details\n";
   if (argc < 2) {
@@ -1156,6 +1368,7 @@ int main(int argc, char** argv) {
     if (sub == "train") return cmd_train(argc - 1, argv + 1);
     if (sub == "record") return cmd_record(argc - 1, argv + 1);
     if (sub == "analyze") return cmd_analyze(argc - 1, argv + 1);
+    if (sub == "serve") return cmd_serve(argc - 1, argv + 1);
     if (sub == "convert") return cmd_convert(argc - 1, argv + 1);
     if (sub == "inspect") return cmd_inspect(argc - 1, argv + 1);
     if (sub == "topology") return cmd_topology(argc - 1, argv + 1);
