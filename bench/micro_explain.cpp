@@ -1,0 +1,159 @@
+// Microbenchmark for decision-path explanation (the explain perf gate).
+//
+// Trains the paper's classifier, synthesizes a deterministic batch of raw
+// feature rows, and times plain predict() against predict_explained() —
+// the observability tax of computing the path, leaf-purity confidence, and
+// Saabas attributions per verdict.  Persists best-of-reps timings to
+// BENCH_explain.json, and verifies on every row that the attribution
+// identity P(rmc|leaf) = P(rmc|root) + sum(attributions) holds.
+//
+// Runs to completion with no arguments, like every other bench binary.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "drbw/util/artifact.hpp"
+#include "drbw/util/json.hpp"
+
+namespace {
+
+using namespace drbw;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Deterministic synthetic raw rows spanning the training range: an LCG
+/// walk over each of the 13 selected features, scaled so some rows land in
+/// every leaf of the trained tree.
+std::vector<std::vector<double>> make_rows(std::size_t count) {
+  const std::size_t arity = features::selected_feature_names().size();
+  std::vector<std::vector<double>> rows;
+  rows.reserve(count);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> row(arity);
+    for (std::size_t f = 0; f < arity; ++f) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      row[f] = static_cast<double>((state >> 16) % 10000) / 10000.0;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+struct Timing {
+  double best_seconds = 1e100;
+
+  double rows_per_second(std::size_t rows) const {
+    return static_cast<double>(rows) / best_seconds;
+  }
+};
+
+Json timing_json(const Timing& timing, std::size_t rows) {
+  Json node = JsonObject{};
+  node.set("best_seconds", timing.best_seconds);
+  node.set("rows_per_second", timing.rows_per_second(rows));
+  return node;
+}
+
+}  // namespace
+
+int run_main(int argc, char** argv) {
+  ArgParser parser("micro_explain",
+                   "Time plain prediction vs full decision-path explanation "
+                   "over a synthetic feature-row batch");
+  parser.add_option("rows", "synthetic feature rows per rep", "200000");
+  parser.add_option("reps", "repetitions per config (best-of)", "5");
+  parser.add_option("out", "JSON artifact path", "BENCH_explain.json");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const auto rows = static_cast<std::size_t>(parser.option_int("rows"));
+  const int reps = static_cast<int>(parser.option_int("reps"));
+
+  const auto machine = topology::Machine::xeon_e5_4650();
+  std::cout << "[drbw] training classifier on the 192 mini-program runs "
+               "(Table II)...\n";
+  const ml::Classifier model =
+      workloads::train_default_classifier(machine, 2017, 0);
+  const std::vector<std::vector<double>> batch = make_rows(rows);
+
+  bench::heading("prediction throughput (best of " + std::to_string(reps) +
+                 ")");
+  Timing plain, explained;
+  std::size_t rmc = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    std::size_t hits = 0;
+    for (const std::vector<double>& row : batch) {
+      if (model.predict(row) == ml::Label::kRmc) ++hits;
+    }
+    plain.best_seconds = std::min(plain.best_seconds, seconds_since(start));
+    rmc = hits;
+  }
+
+  const auto& nodes = model.tree().nodes();
+  const auto p_rmc = [&](int node) {
+    const auto& n = nodes[static_cast<std::size_t>(node)];
+    return static_cast<double>(n.rmc_count) / static_cast<double>(n.count);
+  };
+  double confidence_sum = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    double sum = 0.0;
+    for (const std::vector<double>& row : batch) {
+      const ml::Explanation e = model.predict_explained(row);
+      sum += e.confidence;
+      double attributed = p_rmc(0);
+      for (const double a : e.attributions) attributed += a;
+      DRBW_CHECK_MSG(std::abs(attributed - p_rmc(e.leaf)) < 1e-9,
+                     "Saabas attribution identity violated");
+    }
+    explained.best_seconds =
+        std::min(explained.best_seconds, seconds_since(start));
+    confidence_sum = sum;
+  }
+
+  auto row = [&](const std::string& name, const Timing& t) {
+    std::cout << "  " << name << ": "
+              << format_fixed(t.best_seconds * 1e3, 1) << " ms  ("
+              << format_fixed(t.rows_per_second(rows) / 1e6, 2)
+              << " M rows/s)\n";
+  };
+  row("predict          ", plain);
+  row("predict_explained", explained);
+  std::cout << "\n  explanation overhead vs plain predict: "
+            << format_fixed(explained.best_seconds / plain.best_seconds, 1)
+            << "x  (mean confidence "
+            << format_fixed(confidence_sum / static_cast<double>(rows), 3)
+            << ", " << rmc << " rmc verdicts)\n";
+  bench::measured_note(
+      "Saabas identity P(rmc|leaf) = P(rmc|root) + sum(attributions) "
+      "verified on every explained row");
+
+  Json result = JsonObject{};
+  result.set("rows", rows);
+  result.set("reps", reps);
+  result.set("rmc_verdicts", rmc);
+  result.set("mean_confidence",
+             confidence_sum / static_cast<double>(rows));
+  result.set("predict", timing_json(plain, rows));
+  result.set("predict_explained", timing_json(explained, rows));
+  result.set("explain_overhead_vs_predict",
+             explained.best_seconds / plain.best_seconds);
+  const std::string path = parser.option("out");
+  util::atomic_write_file(path, result.dump(2) + "\n");
+  std::cout << "\nwrote " << path << '\n';
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "micro_explain: " << e.what() << '\n';
+    return 1;
+  }
+}

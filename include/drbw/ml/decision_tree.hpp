@@ -11,7 +11,10 @@
 // normalizer with the tree and persists both as one JSON document.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "drbw/ml/dataset.hpp"
@@ -19,6 +22,73 @@
 #include "drbw/util/json.hpp"
 
 namespace drbw::ml {
+
+/// One internal-node hop of a decision path (predict_explained).
+struct PathStep {
+  int node = 0;       ///< node index in DecisionTree::nodes()
+  int feature = -1;   ///< split feature consulted at this node
+  double threshold = 0.0;
+  bool went_right = false;  ///< value > threshold (Fig. 3 "yes" branch)
+};
+
+/// predict() plus the observability payload: the exact root-to-leaf path,
+/// a deterministic confidence score, and per-feature attribution.
+struct Explanation {
+  Label label = Label::kGood;
+  /// Leaf purity: fraction of the predicted leaf's training samples that
+  /// carry the predicted label.  Pure function of the model artifact, so
+  /// identical at any --jobs; in [0.5, 1] for a majority-vote leaf.
+  double confidence = 0.0;
+  int leaf = 0;  ///< node index of the leaf reached
+  std::vector<PathStep> path;
+  /// Saabas-style attribution: for each input feature, the summed change
+  /// in P(rmc | node) across the path edges that split on that feature.
+  /// P(rmc | leaf) = P(rmc | root) + sum(attributions).
+  std::vector<double> attributions;
+
+  /// Stable signature of the path ("root" for a lone leaf, else e.g.
+  /// "5R 6L": feature index + branch per hop) — explain reports aggregate
+  /// decision-path frequency by this key.
+  std::string path_signature() const;
+};
+
+/// Per-feature fixed-bucket histograms of the *normalized* training
+/// distribution, embedded in the model artifact (format v3) so a serving
+/// process can measure distribution drift without the training set.
+/// Serving accumulates the same histograms over the rows it classifies and
+/// compares with a PSI-style divergence — deterministic by construction
+/// (integer counts, fixed iteration order).
+struct DriftBaseline {
+  static constexpr std::size_t kBuckets = 8;
+
+  /// counts[feature][bucket]; values clamp to [0, 1] before bucketing, so
+  /// out-of-training-range serving values pile into the edge buckets —
+  /// exactly the drift signal.
+  std::vector<std::vector<std::uint64_t>> counts;
+  std::uint64_t total = 0;
+
+  bool empty() const { return counts.empty() || total == 0; }
+
+  static std::size_t bucket_of(double normalized_value);
+  void resize(std::size_t num_features);
+  void observe(const std::vector<double>& normalized_row);
+  /// Elementwise sum — commutative, so parallel accumulators folded in a
+  /// fixed order give the same histogram as serial observation.
+  void merge(const DriftBaseline& other);
+
+  /// PSI-style divergence of `serving` from this baseline, one score per
+  /// feature.  Proportions are epsilon-floored so empty buckets stay
+  /// finite; ~0 for in-distribution traffic, grows without bound as mass
+  /// moves to buckets the training set never populated.
+  std::vector<double> divergence(const DriftBaseline& serving) const;
+
+  Json to_json() const;
+  /// Parses an embedded baseline.  A structurally invalid baseline — or a
+  /// fired "model.drift" corrupt-field fault (content-keyed by feature
+  /// index) — yields an empty baseline: the model still loads, drift is
+  /// just disabled, and the caller reports it unavailable.
+  static DriftBaseline from_json(const Json& json, std::size_t num_features);
+};
 
 struct TreeParams {
   int max_depth = 8;
@@ -52,11 +122,20 @@ class DecisionTree {
 
   Label predict(const std::vector<double>& normalized_row) const;
 
+  /// predict() with the decision path, leaf-purity confidence, and
+  /// per-feature attribution (see Explanation).  `num_features` sizes the
+  /// attribution vector; pass the dataset arity.
+  Explanation predict_explained(const std::vector<double>& normalized_row,
+                                std::size_t num_features) const;
+
   const std::vector<Node>& nodes() const { return nodes_; }
   int depth() const;
   std::size_t leaf_count() const;
   /// Distinct features used by internal nodes, ascending.
   std::vector<int> used_features() const;
+  /// (feature index, split-node count) per used feature, ascending by
+  /// feature — `drbw train`'s tree-shape provenance.
+  std::vector<std::pair<int, std::size_t>> split_counts() const;
 
   /// Fig. 3-style rendering: internal nodes labelled with features, leaves
   /// with classifications.
@@ -86,6 +165,10 @@ class Classifier {
 
   Label predict(const std::vector<double>& raw_row) const;
 
+  /// Normalizes, then explains (see DecisionTree::predict_explained).
+  /// Attribution indices match feature_names().
+  Explanation predict_explained(const std::vector<double>& raw_row) const;
+
   /// Predicts a batch of raw rows in order — the incremental-classification
   /// entry point used by the serve layer's window loop.
   std::vector<Label> predict_batch(
@@ -94,6 +177,15 @@ class Classifier {
   const DecisionTree& tree() const { return tree_; }
   const Normalizer& normalizer() const { return normalizer_; }
   const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+  /// Training-distribution histograms for serving-time drift detection.
+  /// Empty (has_drift_baseline() == false) for models saved before format
+  /// v3 — callers must degrade to drift-disabled, never fail.
+  const DriftBaseline& drift_baseline() const { return drift_baseline_; }
+  bool has_drift_baseline() const { return !drift_baseline_.empty(); }
+  /// Buckets a raw serving row the same way training rows were bucketed.
+  void observe_drift(const std::vector<double>& raw_row,
+                     DriftBaseline& serving) const;
 
   std::string describe() const;
 
@@ -120,6 +212,7 @@ class Classifier {
   Normalizer normalizer_;
   DecisionTree tree_;
   std::vector<std::string> feature_names_;
+  DriftBaseline drift_baseline_;
 };
 
 }  // namespace drbw::ml

@@ -43,6 +43,13 @@ class RandomForest {
   /// Fraction of trees voting rmc, in [0, 1].
   double vote_fraction(const std::vector<double>& raw_row) const;
 
+  /// Ensemble explanation: majority label, vote-margin confidence (the
+  /// winning fraction, in [0.5, 1]), and per-dataset-feature attributions
+  /// averaged over the trees via their feature maps.  Per-tree decision
+  /// paths live in per-tree feature subspaces, so `path` stays empty and
+  /// `leaf` is -1 — confidence + attributions are the ensemble story.
+  Explanation predict_explained(const std::vector<double>& raw_row) const;
+
   std::size_t size() const { return trees_.size(); }
   const std::vector<std::string>& feature_names() const { return feature_names_; }
   const std::vector<DecisionTree>& trees() const { return trees_; }

@@ -62,6 +62,18 @@ struct RunManifest {
   /// falling back to pass-through telemetry without a usable model).
   /// Emitted only when set, so existing manifests are byte-unchanged.
   bool degraded = false;
+  /// Serve drift verdict: "ok", "suspected", or "unavailable" (degraded run
+  /// or a model saved before format v3, which carries no training
+  /// baseline).  "" everywhere else; emitted only when non-empty.
+  std::string drift;
+  /// `drbw train` tree-shape provenance (node/leaf counts, depth, split
+  /// counts per feature).  Emitted only when has_model_shape.
+  bool has_model_shape = false;
+  std::uint64_t model_nodes = 0;
+  std::uint64_t model_leaves = 0;
+  std::uint64_t model_depth = 0;
+  /// (feature name, split-node count), ascending by feature index.
+  std::vector<std::pair<std::string, std::uint64_t>> model_splits;
   std::vector<ArtifactRef> inputs;
   std::vector<ArtifactRef> outputs;
   bool has_load_stats = false;

@@ -86,6 +86,17 @@ struct FleetServeClient {
   bool quarantined = false;
 };
 
+/// One client's model-health row from a serve run's snapshot drift section
+/// (present only for runs served with a baseline-carrying v3 model).
+struct FleetModelHealth {
+  std::string dir;  ///< serve run dir relative to the scan root
+  std::uint64_t client = 0;
+  double confidence_p50 = 0.0;
+  double confidence_min = 0.0;
+  double drift_score = 0.0;
+  bool suspected = false;
+};
+
 /// Regressed rows for one run vs the baseline manifest.
 struct FleetRegression {
   std::string dir;
@@ -119,6 +130,23 @@ struct FleetReport {
   std::uint64_t serve_dropped = 0;
   std::uint64_t serve_quarantined_clients = 0;
   std::vector<FleetServeClient> serve_clients;  ///< sorted by (dir, client)
+  /// Model-health aggregation over serve runs (section emitted only when at
+  /// least one run recorded a drift verdict, so older corpora render
+  /// byte-identically).  The min-confidence / max-drift extrema name the
+  /// offending run dir + client; ties keep the first in sorted-dir order.
+  std::size_t model_health_runs = 0;      ///< serve runs with a drift section
+  std::size_t drift_suspected_runs = 0;   ///< manifests with drift="suspected"
+  std::size_t drift_unavailable_runs = 0; ///< drift="unavailable" (v2 model /
+                                          ///< degraded)
+  std::uint64_t drift_suspected_clients = 0;
+  bool has_model_health = false;  ///< extrema below are populated
+  double min_confidence = 0.0;
+  std::string min_confidence_dir;
+  std::uint64_t min_confidence_client = 0;
+  double max_drift = 0.0;
+  std::string max_drift_dir;
+  std::uint64_t max_drift_client = 0;
+  std::vector<FleetModelHealth> model_health;  ///< sorted by (dir, client)
   /// Regression scan (baseline_path only): passing runs with rows past the
   /// threshold, sorted by dir.  `regressed` drives fleet's exit 3.
   std::vector<FleetRegression> regressions;

@@ -44,6 +44,8 @@ struct ManifestData {
   std::string subcommand;
   std::string fault_spec;
   bool degraded = false;  ///< run completed in a reduced mode (serve)
+  std::string drift;      ///< serve drift verdict: "" | "ok" | "suspected" |
+                          ///< "unavailable" (see obs::RunManifest)
   std::string status = "ok";
   std::string error_code;
   int exit_code = 0;

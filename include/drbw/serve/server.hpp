@@ -48,8 +48,10 @@
 
 namespace drbw::serve {
 
-/// Version of the `#drbw-serve-snapshot` artifact.
-inline constexpr int kServeSnapshotVersion = 1;
+/// Version of the `#drbw-serve-snapshot` artifact.  v2 added the windowed
+/// contention timeline and the per-client drift section; v1 snapshots are
+/// still readable (both additions are simply absent).
+inline constexpr int kServeSnapshotVersion = 2;
 
 struct ServeOptions {
   std::uint32_t clients = 4;
@@ -81,6 +83,12 @@ struct ServeOptions {
   std::string snapshot_path;
   /// Rewrite the snapshot every N ticks (0 = final snapshot only).
   std::uint64_t snapshot_every = 0;
+  /// Drift flag threshold: a client whose PSI divergence from the model's
+  /// training baseline reaches this value is marked drift-suspected
+  /// (doctor surfaces a DriftSuspected finding; fleet counts it).  0 never
+  /// flags; divergence is still computed and exported when the model
+  /// carries a baseline.  Typed, not fatal — the exit code is unaffected.
+  double drift_threshold = 0.0;
 };
 
 /// Per-client accounting, index-aligned with the session list.
@@ -102,6 +110,32 @@ struct ClientStats {
   std::uint64_t quarantined_tick = 0;  ///< tick of the breaker trip
 };
 
+/// Per-client model-health accounting; populated only when the model
+/// carries a drift baseline (format v3).  Confidence is the leaf-purity
+/// score of predict_explained, summarized per classified window as the
+/// minimum across the window's channel rows (the most uncertain verdict).
+struct ClientModelHealth {
+  std::uint32_t client = 0;
+  std::uint64_t windows = 0;  ///< classified windows contributing confidence
+  std::uint64_t rows = 0;     ///< channel rows classified
+  double confidence_p50 = 0.0;  ///< lower-median window confidence
+  double confidence_min = 0.0;
+  double drift_score = 0.0;  ///< max per-feature PSI vs the training baseline
+  bool drift_suspected = false;
+};
+
+/// One recorded tick of the windowed contention timeline (ticks that
+/// classified no window are skipped).  render_snapshot downsamples long
+/// timelines by merging adjacent rows, so the snapshot stays bounded.
+struct TimelineRow {
+  std::uint64_t tick = 0;
+  std::uint64_t merged = 1;  ///< source rows merged into this one
+  std::uint64_t windows = 0;
+  std::uint64_t rmc = 0;
+  double confidence_p50 = 0.0;  ///< 0 when the run had no model
+  double drift_score = 0.0;     ///< running max drift at row end
+};
+
 struct ServeResult {
   std::vector<ClientStats> clients;
   std::uint64_t ticks = 0;
@@ -121,10 +155,23 @@ struct ServeResult {
   bool drained = true;    ///< false when --max-cycles cut replay short
   std::uint64_t snapshots_written = 0;
   std::string snapshot_json;  ///< body of the last snapshot (tests)
+
+  /// Model observability.  drift_available is false for degraded runs and
+  /// for pre-v3 models (no embedded baseline): the snapshot then omits the
+  /// drift section and model_health stays empty.  The timeline is recorded
+  /// whenever windows were classified (confidence needs only a model, not
+  /// a baseline).
+  bool drift_available = false;
+  double drift_threshold = 0.0;  ///< as configured (0 = flagging disabled)
+  double drift_score = 0.0;      ///< max client drift
+  double confidence_p50 = 0.0;   ///< lower-median across all window confidences
+  std::uint64_t drift_suspected_clients = 0;
+  std::vector<ClientModelHealth> model_health;
+  std::vector<TimelineRow> timeline;
 };
 
 /// Renders the deterministic snapshot body for `result` (pure function, no
-/// I/O); Server writes it under the `#drbw-serve-snapshot v1` header.
+/// I/O); Server writes it under the `#drbw-serve-snapshot v2` header.
 std::string render_snapshot(const ServeResult& result);
 
 class Server {

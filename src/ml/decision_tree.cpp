@@ -1,10 +1,13 @@
 #include "drbw/ml/decision_tree.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 #include <numeric>
 #include <set>
 #include <sstream>
 
+#include "drbw/fault/injector.hpp"
 #include "drbw/obs/trace.hpp"
 
 namespace drbw::ml {
@@ -35,7 +38,134 @@ double gini(std::size_t rmc, std::size_t total) {
   return 2.0 * p * (1.0 - p);
 }
 
+double rmc_fraction(const DecisionTree::Node& node) {
+  if (node.count == 0) return 0.0;
+  return static_cast<double>(node.rmc_count) / static_cast<double>(node.count);
+}
+
 }  // namespace
+
+std::string Explanation::path_signature() const {
+  if (path.empty()) return "root";
+  std::string sig;
+  for (const PathStep& step : path) {
+    if (!sig.empty()) sig += ' ';
+    sig += std::to_string(step.feature);
+    sig += step.went_right ? 'R' : 'L';
+  }
+  return sig;
+}
+
+std::size_t DriftBaseline::bucket_of(double normalized_value) {
+  // Clamp first: serving values outside the training min-max range land in
+  // the edge buckets (NaN compares false both ways and falls into bucket 0).
+  double v = normalized_value;
+  if (!(v > 0.0)) v = 0.0;
+  if (v > 1.0) v = 1.0;
+  const auto bucket = static_cast<std::size_t>(v * static_cast<double>(kBuckets));
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+void DriftBaseline::resize(std::size_t num_features) {
+  counts.assign(num_features, std::vector<std::uint64_t>(kBuckets, 0));
+  total = 0;
+}
+
+void DriftBaseline::observe(const std::vector<double>& normalized_row) {
+  DRBW_CHECK_MSG(normalized_row.size() >= counts.size(),
+                 "row too short for drift baseline of " << counts.size()
+                                                        << " features");
+  for (std::size_t f = 0; f < counts.size(); ++f) {
+    ++counts[f][bucket_of(normalized_row[f])];
+  }
+  ++total;
+}
+
+void DriftBaseline::merge(const DriftBaseline& other) {
+  if (other.counts.empty()) return;
+  if (counts.empty()) resize(other.counts.size());
+  DRBW_CHECK_MSG(other.counts.size() == counts.size(),
+                 "drift histograms disagree on feature count");
+  for (std::size_t f = 0; f < counts.size(); ++f) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      counts[f][b] += other.counts[f][b];
+    }
+  }
+  total += other.total;
+}
+
+std::vector<double> DriftBaseline::divergence(
+    const DriftBaseline& serving) const {
+  DRBW_CHECK_MSG(serving.counts.size() == counts.size(),
+                 "drift histograms disagree on feature count");
+  std::vector<double> scores(counts.size(), 0.0);
+  if (empty() || serving.empty()) return scores;
+  // PSI with epsilon-floored proportions so buckets one side never
+  // populated stay finite; ~0 in-distribution, grows as mass shifts.
+  constexpr double kEps = 1e-4;
+  for (std::size_t f = 0; f < counts.size(); ++f) {
+    double psi = 0.0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const double p = std::max(
+          static_cast<double>(counts[f][b]) / static_cast<double>(total), kEps);
+      const double q =
+          std::max(static_cast<double>(serving.counts[f][b]) /
+                       static_cast<double>(serving.total),
+                   kEps);
+      psi += (q - p) * std::log(q / p);
+    }
+    scores[f] = psi;
+  }
+  return scores;
+}
+
+Json DriftBaseline::to_json() const {
+  Json j;
+  j.set("buckets", static_cast<std::int64_t>(kBuckets));
+  j.set("total", total);
+  JsonArray rows;
+  for (const auto& feature_counts : counts) {
+    JsonArray row;
+    for (const std::uint64_t c : feature_counts) row.push_back(Json(c));
+    rows.push_back(Json(std::move(row)));
+  }
+  j.set("counts", Json(std::move(rows)));
+  return j;
+}
+
+DriftBaseline DriftBaseline::from_json(const Json& json,
+                                       std::size_t num_features) {
+  // A baseline that fails structural validation — or a fired model.drift
+  // corrupt-field fault simulating one — disables drift rather than
+  // failing the load: the tree itself is intact and still serves.
+  DriftBaseline empty_baseline;
+  DriftBaseline baseline;
+  if (static_cast<std::size_t>(json.at("buckets").as_int()) != kBuckets) {
+    return empty_baseline;
+  }
+  baseline.total = static_cast<std::uint64_t>(json.at("total").as_int());
+  const JsonArray& rows = json.at("counts").as_array();
+  if (rows.size() != num_features) return empty_baseline;
+  for (std::size_t f = 0; f < rows.size(); ++f) {
+    if (fault::should_inject("model.drift", fault::Kind::kCorruptField, f)) {
+      return empty_baseline;
+    }
+    const JsonArray& row = rows[f].as_array();
+    if (row.size() != kBuckets) return empty_baseline;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> feature_counts;
+    feature_counts.reserve(kBuckets);
+    for (const Json& c : row) {
+      const auto count = static_cast<std::uint64_t>(c.as_int());
+      feature_counts.push_back(count);
+      sum += count;
+    }
+    // Every observed row increments each feature's histogram exactly once.
+    if (sum != baseline.total) return empty_baseline;
+    baseline.counts.push_back(std::move(feature_counts));
+  }
+  return baseline;
+}
 
 int DecisionTree::add_leaf(const Dataset& data,
                            const std::vector<std::size_t>& indices) {
@@ -156,6 +286,37 @@ Label DecisionTree::predict(const std::vector<double>& row) const {
   return nodes_[static_cast<std::size_t>(at)].label;
 }
 
+Explanation DecisionTree::predict_explained(
+    const std::vector<double>& row, std::size_t num_features) const {
+  DRBW_CHECK_MSG(!nodes_.empty(), "predict on untrained tree");
+  Explanation out;
+  out.attributions.assign(num_features, 0.0);
+  int at = 0;
+  while (!nodes_[static_cast<std::size_t>(at)].is_leaf()) {
+    const Node& node = nodes_[static_cast<std::size_t>(at)];
+    DRBW_CHECK_MSG(static_cast<std::size_t>(node.feature) < row.size(),
+                   "row too short for tree feature " << node.feature);
+    const bool right =
+        row[static_cast<std::size_t>(node.feature)] > node.threshold;
+    out.path.push_back(PathStep{at, node.feature, node.threshold, right});
+    const int child = right ? node.right : node.left;
+    // Saabas attribution: the change in P(rmc) this split caused, credited
+    // to the feature it consulted.
+    if (static_cast<std::size_t>(node.feature) < num_features) {
+      out.attributions[static_cast<std::size_t>(node.feature)] +=
+          rmc_fraction(nodes_[static_cast<std::size_t>(child)]) -
+          rmc_fraction(node);
+    }
+    at = child;
+  }
+  const Node& leaf = nodes_[static_cast<std::size_t>(at)];
+  out.label = leaf.label;
+  out.leaf = at;
+  const double p_rmc = rmc_fraction(leaf);
+  out.confidence = leaf.label == Label::kRmc ? p_rmc : 1.0 - p_rmc;
+  return out;
+}
+
 int DecisionTree::depth() const {
   // Longest root-to-leaf path in *edges*: a lone leaf has depth 0, and a
   // trained tree's depth never exceeds TreeParams::max_depth.
@@ -188,6 +349,15 @@ std::vector<int> DecisionTree::used_features() const {
     if (!node.is_leaf()) used.insert(node.feature);
   }
   return std::vector<int>(used.begin(), used.end());
+}
+
+std::vector<std::pair<int, std::size_t>> DecisionTree::split_counts() const {
+  std::map<int, std::size_t> by_feature;
+  for (const Node& node : nodes_) {
+    if (!node.is_leaf()) ++by_feature[node.feature];
+  }
+  return std::vector<std::pair<int, std::size_t>>(by_feature.begin(),
+                                                  by_feature.end());
 }
 
 namespace {
@@ -264,15 +434,32 @@ Classifier::Classifier(Normalizer normalizer, DecisionTree tree,
 Classifier Classifier::train(const Dataset& data, TreeParams params) {
   const Normalizer normalizer = Normalizer::fit(data);
   Dataset normalized(data.feature_names());
+  Classifier model;
+  model.drift_baseline_.resize(data.num_features());
   for (std::size_t i = 0; i < data.size(); ++i) {
-    normalized.add(normalizer.apply(data.row(i)), data.label(i));
+    std::vector<double> row = normalizer.apply(data.row(i));
+    model.drift_baseline_.observe(row);
+    normalized.add(std::move(row), data.label(i));
   }
-  return Classifier(normalizer, DecisionTree::train(normalized, params),
-                    data.feature_names());
+  model.normalizer_ = normalizer;
+  model.tree_ = DecisionTree::train(normalized, params);
+  model.feature_names_ = data.feature_names();
+  return model;
 }
 
 Label Classifier::predict(const std::vector<double>& raw_row) const {
   return tree_.predict(normalizer_.apply(raw_row));
+}
+
+Explanation Classifier::predict_explained(
+    const std::vector<double>& raw_row) const {
+  return tree_.predict_explained(normalizer_.apply(raw_row),
+                                 feature_names_.size());
+}
+
+void Classifier::observe_drift(const std::vector<double>& raw_row,
+                               DriftBaseline& serving) const {
+  serving.observe(normalizer_.apply(raw_row));
 }
 
 std::vector<Label> Classifier::predict_batch(
@@ -297,6 +484,9 @@ Json Classifier::to_json() const {
   j.set("feature_names", Json(std::move(names)));
   j.set("normalizer", normalizer_.to_json());
   j.set("tree", tree_.to_json());
+  if (!drift_baseline_.empty()) {
+    j.set("drift_baseline", drift_baseline_.to_json());
+  }
   return j;
 }
 
@@ -307,13 +497,21 @@ Classifier Classifier::from_json(const Json& json) {
   for (const Json& n : json.at("feature_names").as_array()) {
     names.push_back(n.as_string());
   }
-  return Classifier(Normalizer::from_json(json.at("normalizer")),
-                    DecisionTree::from_json(json.at("tree")), std::move(names));
+  Classifier model(Normalizer::from_json(json.at("normalizer")),
+                   DecisionTree::from_json(json.at("tree")), std::move(names));
+  // v2 and legacy documents carry no baseline: the model loads fine, drift
+  // detection is simply unavailable (doctor advises re-training).
+  if (const Json* baseline = json.find("drift_baseline")) {
+    model.drift_baseline_ =
+        DriftBaseline::from_json(*baseline, model.feature_names_.size());
+  }
+  return model;
 }
 
 namespace {
 constexpr const char* kModelKind = "model";
-constexpr int kModelVersion = 2;
+// v3 embeds the drift baseline; v2/legacy still load (baseline absent).
+constexpr int kModelVersion = 3;
 }  // namespace
 
 void Classifier::save(const std::string& path) const {

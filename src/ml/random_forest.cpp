@@ -89,6 +89,36 @@ Label RandomForest::predict(const std::vector<double>& raw_row) const {
   return vote_fraction(raw_row) > 0.5 ? Label::kRmc : Label::kGood;
 }
 
+Explanation RandomForest::predict_explained(
+    const std::vector<double>& raw_row) const {
+  DRBW_CHECK_MSG(!trees_.empty(), "predict on untrained forest");
+  const std::vector<double> normalized = normalizer_.apply(raw_row);
+  Explanation out;
+  out.leaf = -1;
+  out.attributions.assign(feature_names_.size(), 0.0);
+  int rmc_votes = 0;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    std::vector<double> projected;
+    projected.reserve(feature_maps_[t].size());
+    for (const std::size_t f : feature_maps_[t]) projected.push_back(normalized[f]);
+    const Explanation tree_exp =
+        trees_[t].predict_explained(projected, feature_maps_[t].size());
+    rmc_votes += tree_exp.label == Label::kRmc ? 1 : 0;
+    // Map the tree's subspace attributions back to dataset columns.
+    for (std::size_t c = 0; c < feature_maps_[t].size(); ++c) {
+      out.attributions[feature_maps_[t][c]] += tree_exp.attributions[c];
+    }
+  }
+  for (double& a : out.attributions) {
+    a /= static_cast<double>(trees_.size());
+  }
+  const double vote =
+      static_cast<double>(rmc_votes) / static_cast<double>(trees_.size());
+  out.label = vote > 0.5 ? Label::kRmc : Label::kGood;
+  out.confidence = out.label == Label::kRmc ? vote : 1.0 - vote;
+  return out;
+}
+
 ConfusionMatrix evaluate_forest(const RandomForest& model, const Dataset& data) {
   ConfusionMatrix cm;
   for (std::size_t i = 0; i < data.size(); ++i) {

@@ -57,6 +57,19 @@ std::string RunManifest::to_json() const {
   if (degraded) {
     os << "    \"degraded\": true,\n";
   }
+  if (!drift.empty()) {
+    os << "    \"drift\": " << quoted(drift) << ",\n";
+  }
+  if (has_model_shape) {
+    os << "    \"model_shape\": {\"nodes\": " << model_nodes
+       << ", \"leaves\": " << model_leaves << ", \"max_depth\": " << model_depth
+       << ", \"splits\": {";
+    for (std::size_t i = 0; i < model_splits.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << quoted(model_splits[i].first) << ": "
+         << model_splits[i].second;
+    }
+    os << "}},\n";
+  }
   render_artifacts(os, "inputs", inputs);
   os << ",\n";
   render_artifacts(os, "outputs", outputs);

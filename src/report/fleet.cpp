@@ -101,6 +101,8 @@ FleetReport fleet_scan(const std::string& root, const FleetOptions& options) {
     ManifestData manifest;
     bool serve_snapshot_ok = false;
     std::vector<FleetServeClient> serve_clients;
+    bool drift_section = false;
+    std::vector<FleetModelHealth> health;
   };
   std::vector<Slot> slots(dirs.size());
   util::TaskPool pool(options.jobs);
@@ -123,7 +125,7 @@ FleetReport fleet_scan(const std::string& root, const FleetOptions& options) {
     try {
       const util::VersionedArtifact snapshot = util::read_versioned_artifact(
           join_root(root, dirs[i]) + "/serve_snapshot.json", "serve-snapshot",
-          1, util::LoadPolicy{});
+          2, util::LoadPolicy{});
       const Json doc = Json::parse(snapshot.body);
       const Json* clients = doc.find("clients");
       if (clients != nullptr && clients->is_array()) {
@@ -148,6 +150,35 @@ FleetReport fleet_scan(const std::string& root, const FleetOptions& options) {
           slots[i].serve_clients.push_back(std::move(row));
         }
         slots[i].serve_snapshot_ok = true;
+      }
+      // v2 snapshots add a drift section (per-client confidence + PSI
+      // score); v1 snapshots and drift-unavailable runs simply lack it.
+      const Json* drift = doc.find("drift");
+      if (drift != nullptr && drift->is_object()) {
+        slots[i].drift_section = true;
+        const Json* rows = drift->find("clients");
+        if (rows != nullptr && rows->is_array()) {
+          for (const Json& entry : rows->as_array()) {
+            if (!entry.is_object()) continue;
+            FleetModelHealth h;
+            h.dir = dirs[i];
+            const auto num = [&](const char* key) -> double {
+              const Json* node = entry.find(key);
+              return node != nullptr && node->type() == Json::Type::kNumber
+                         ? node->as_number()
+                         : 0.0;
+            };
+            h.client = static_cast<std::uint64_t>(num("client"));
+            h.confidence_p50 = num("confidence_p50");
+            h.confidence_min = num("confidence_min");
+            h.drift_score = num("score");
+            const Json* suspected = entry.find("suspected");
+            h.suspected = suspected != nullptr &&
+                          suspected->type() == Json::Type::kBool &&
+                          suspected->as_bool();
+            slots[i].health.push_back(std::move(h));
+          }
+        }
       }
     } catch (const Error&) {
       // tallied as serve_snapshots_missing below
@@ -213,6 +244,25 @@ FleetReport fleet_scan(const std::string& root, const FleetOptions& options) {
         report.serve_dropped += client.dropped;
         if (client.quarantined) ++report.serve_quarantined_clients;
         report.serve_clients.push_back(client);
+      }
+      if (m.drift == "suspected") ++report.drift_suspected_runs;
+      if (m.drift == "unavailable") ++report.drift_unavailable_runs;
+      if (slot.drift_section) ++report.model_health_runs;
+      for (const FleetModelHealth& h : slot.health) {
+        if (!report.has_model_health ||
+            h.confidence_p50 < report.min_confidence) {
+          report.min_confidence = h.confidence_p50;
+          report.min_confidence_dir = h.dir;
+          report.min_confidence_client = h.client;
+        }
+        if (!report.has_model_health || h.drift_score > report.max_drift) {
+          report.max_drift = h.drift_score;
+          report.max_drift_dir = h.dir;
+          report.max_drift_client = h.client;
+        }
+        report.has_model_health = true;
+        if (h.suspected) ++report.drift_suspected_clients;
+        report.model_health.push_back(h);
       }
     }
 
@@ -312,6 +362,33 @@ std::string render_fleet_markdown(const FleetReport& report) {
         os << "| " << md_cell(c.dir) << " | " << c.client << " | " << c.shed
            << " | " << c.rejected << " | " << c.dropped << " | "
            << (c.quarantined ? "yes" : "no") << " |\n";
+      }
+    }
+  }
+  if (report.model_health_runs > 0 || report.drift_suspected_runs > 0 ||
+      report.drift_unavailable_runs > 0) {
+    os << "\n## Model health\n\n" << report.model_health_runs
+       << " serve run(s) with drift telemetry: " << report.drift_suspected_runs
+       << " drift-suspected run(s) (" << report.drift_suspected_clients
+       << " client(s) flagged), " << report.drift_unavailable_runs
+       << " without a usable baseline, " << report.serve_degraded_runs
+       << " degraded\n";
+    if (report.has_model_health) {
+      os << "\nlowest confidence p50 " << fmt_double(report.min_confidence)
+         << " (run " << md_cell(report.min_confidence_dir) << ", client "
+         << report.min_confidence_client << "); max drift "
+         << fmt_double(report.max_drift) << " (run "
+         << md_cell(report.max_drift_dir) << ", client "
+         << report.max_drift_client << ")\n";
+    }
+    if (!report.model_health.empty()) {
+      os << "\n| run | client | confidence p50 | confidence min | drift | "
+            "suspected |\n|---|---:|---:|---:|---:|---|\n";
+      for (const FleetModelHealth& h : report.model_health) {
+        os << "| " << md_cell(h.dir) << " | " << h.client << " | "
+           << fmt_double(h.confidence_p50) << " | "
+           << fmt_double(h.confidence_min) << " | " << fmt_double(h.drift_score)
+           << " | " << (h.suspected ? "yes" : "no") << " |\n";
       }
     }
   }
@@ -427,6 +504,41 @@ std::string render_fleet_json(const FleetReport& report) {
     }
     serve.set("clients", std::move(clients));
     golden.set("serve", std::move(serve));
+  }
+
+  if (report.model_health_runs > 0 || report.drift_suspected_runs > 0 ||
+      report.drift_unavailable_runs > 0) {
+    Json health = JsonObject{};
+    health.set("runs", report.model_health_runs);
+    health.set("drift_suspected_runs", report.drift_suspected_runs);
+    health.set("drift_suspected_clients", report.drift_suspected_clients);
+    health.set("drift_unavailable_runs", report.drift_unavailable_runs);
+    health.set("degraded_runs", report.serve_degraded_runs);
+    if (report.has_model_health) {
+      Json lowest = JsonObject{};
+      lowest.set("run", report.min_confidence_dir);
+      lowest.set("client", report.min_confidence_client);
+      lowest.set("confidence_p50", report.min_confidence);
+      health.set("lowest_confidence", std::move(lowest));
+      Json worst = JsonObject{};
+      worst.set("run", report.max_drift_dir);
+      worst.set("client", report.max_drift_client);
+      worst.set("score", report.max_drift);
+      health.set("max_drift", std::move(worst));
+    }
+    Json rows = JsonArray{};
+    for (const FleetModelHealth& h : report.model_health) {
+      Json entry = JsonObject{};
+      entry.set("run", h.dir);
+      entry.set("client", h.client);
+      entry.set("confidence_p50", h.confidence_p50);
+      entry.set("confidence_min", h.confidence_min);
+      entry.set("score", h.drift_score);
+      entry.set("suspected", h.suspected);
+      rows.push_back(std::move(entry));
+    }
+    health.set("clients", std::move(rows));
+    golden.set("model_health", std::move(health));
   }
 
   Json regressions = JsonArray{};

@@ -94,6 +94,7 @@ ManifestData load_manifest(const std::string& path) {
   if (const Json* degraded = find_in(golden, "degraded")) {
     m.degraded = degraded->type() == Json::Type::kBool && degraded->as_bool();
   }
+  m.drift = str_or(find_in(golden, "drift"), "");
   if (const Json* outcome = find_in(golden, "outcome")) {
     m.status = str_or(outcome->find("status"), "ok");
     m.error_code = str_or(outcome->find("error_code"), "");
@@ -340,6 +341,23 @@ DoctorReport doctor(const std::string& run_dir) {
                 "drbw_serve_samples_dropped_total)",
             "inspect the fired serve.* sites above; raise --max-retries or "
             "--breaker-threshold if transient faults should be ridden out");
+      }
+      if (m.drift == "suspected") {
+        add("model drift suspected (DriftSuspected)",
+            "the manifest records drift=\"suspected\": at least one client's "
+            "serving distribution diverged from the model's training "
+            "baseline past --drift-threshold (per-client PSI scores are in "
+            "the snapshot's drift section and drbw_model_drift_score)",
+            "the model may be stale for this workload — re-train on a "
+            "recent trace (`drbw train`), or raise --drift-threshold if the "
+            "shift is expected");
+      } else if (m.drift == "unavailable" && !m.degraded) {
+        add("drift detection unavailable",
+            "the manifest records drift=\"unavailable\": the model loaded "
+            "but carries no training baseline (saved before model format "
+            "v3), so serving-time drift could not be measured",
+            "re-save the model with this build (`drbw train --out "
+            "model.json`) to embed the drift baseline");
       }
       const double shed = counter("drbw_serve_samples_shed_total");
       const double rejected = counter("drbw_serve_samples_rejected_total");

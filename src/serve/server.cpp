@@ -1,6 +1,7 @@
 #include "drbw/serve/server.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <map>
 #include <sstream>
@@ -77,9 +78,61 @@ struct ClientState {
   std::vector<pebs::SessionSample> deferred;  ///< pushed back under block
   std::vector<pebs::SessionSample> buffer;    ///< sliding classify window
   int consecutive_faults = 0;
+  // Model-health accounting (touched only when a model is present).
+  std::vector<double> window_confidences;
+  std::uint64_t rows_classified = 0;
+  ml::DriftBaseline serving;  ///< serving-side drift histograms
 };
 
 const char* bool_token(bool v) { return v ? "true" : "false"; }
+
+/// Fixed, locale-independent double rendering for the snapshot body.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Lower-median over an unsorted copy (nearest-rank, deterministic).
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[(values.size() - 1) / 2];
+}
+
+/// Bounds the snapshot: merges adjacent timeline rows until at most
+/// `max_rows` remain.  Counts sum, drift takes the running max, and the
+/// merged confidence is the lower median of the source rows' medians —
+/// a pure function of the input, so snapshots stay byte-identical at any
+/// --jobs count.
+std::vector<TimelineRow> downsample_timeline(
+    const std::vector<TimelineRow>& rows, std::size_t max_rows) {
+  if (rows.size() <= max_rows) return rows;
+  const std::size_t group = (rows.size() + max_rows - 1) / max_rows;
+  std::vector<TimelineRow> out;
+  out.reserve(max_rows);
+  for (std::size_t at = 0; at < rows.size(); at += group) {
+    const std::size_t end = std::min(rows.size(), at + group);
+    TimelineRow merged = rows[at];
+    merged.merged = 0;
+    std::vector<double> confidences;
+    for (std::size_t i = at; i < end; ++i) {
+      merged.merged += rows[i].merged;
+      if (i > at) {
+        merged.windows += rows[i].windows;
+        merged.rmc += rows[i].rmc;
+        merged.drift_score = std::max(merged.drift_score, rows[i].drift_score);
+      }
+      confidences.push_back(rows[i].confidence_p50);
+    }
+    merged.confidence_p50 = median_of(std::move(confidences));
+    out.push_back(merged);
+  }
+  return out;
+}
+
+/// Snapshot timelines never exceed this many rows (see downsample_timeline).
+constexpr std::size_t kSnapshotTimelineRows = 256;
 
 }  // namespace
 
@@ -98,6 +151,35 @@ std::string render_snapshot(const ServeResult& r) {
      << ", \"dropped\": " << r.samples_dropped << "},\n";
   os << "  \"windows\": {\"classified\": " << r.windows_classified
      << ", \"rmc\": " << r.windows_rmc << "},\n";
+  const std::vector<TimelineRow> timeline =
+      downsample_timeline(r.timeline, kSnapshotTimelineRows);
+  os << "  \"timeline\": [";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const TimelineRow& row = timeline[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"tick\": " << row.tick
+       << ", \"merged\": " << row.merged << ", \"windows\": " << row.windows
+       << ", \"rmc\": " << row.rmc
+       << ", \"confidence_p50\": " << fmt_double(row.confidence_p50)
+       << ", \"drift\": " << fmt_double(row.drift_score) << "}";
+  }
+  os << (timeline.empty() ? "]" : "\n  ]") << ",\n";
+  if (r.drift_available) {
+    os << "  \"drift\": {\"threshold\": " << fmt_double(r.drift_threshold)
+       << ", \"score\": " << fmt_double(r.drift_score)
+       << ", \"confidence_p50\": " << fmt_double(r.confidence_p50)
+       << ", \"suspected_clients\": " << r.drift_suspected_clients
+       << ", \"clients\": [";
+    for (std::size_t i = 0; i < r.model_health.size(); ++i) {
+      const ClientModelHealth& mh = r.model_health[i];
+      os << (i == 0 ? "\n" : ",\n") << "    {\"client\": " << mh.client
+         << ", \"windows\": " << mh.windows << ", \"rows\": " << mh.rows
+         << ", \"confidence_p50\": " << fmt_double(mh.confidence_p50)
+         << ", \"confidence_min\": " << fmt_double(mh.confidence_min)
+         << ", \"score\": " << fmt_double(mh.drift_score)
+         << ", \"suspected\": " << bool_token(mh.drift_suspected) << "}";
+    }
+    os << (r.model_health.empty() ? "]" : "\n  ]") << "},\n";
+  }
   os << "  \"faults\": {\"total\": " << r.faults
      << ", \"retries\": " << r.retries
      << ", \"quarantined_clients\": " << r.quarantined_clients << "},\n";
@@ -152,6 +234,14 @@ ServeResult Server::run(const pebs::Trace& trace) {
   result.degraded = model_ == nullptr;
   result.window_cycles = window;
   result.samples_in = trace.samples.size();
+  // Drift needs a v3 model with an embedded training baseline; without one
+  // the run still serves (and still records the confidence timeline), the
+  // drift section is just unavailable.
+  const bool drift_on = model_ != nullptr && model_->has_drift_baseline();
+  const std::size_t num_features =
+      model_ != nullptr ? model_->feature_names().size() : 0;
+  result.drift_available = drift_on;
+  result.drift_threshold = options_.drift_threshold;
 
   // Trip the circuit breaker: quarantine the client and discard everything
   // it still holds (queued, deferred, and unconsumed session samples).
@@ -171,6 +261,44 @@ ServeResult Server::run(const pebs::Trace& trace) {
     }
   };
 
+  // Per-client model health + run-level drift/confidence rollup — pure
+  // function of the accumulated state, shared by partial and final
+  // snapshots.
+  const auto fill_model_health = [&](ServeResult& out) {
+    if (!drift_on) return;
+    out.model_health.clear();
+    out.drift_score = 0.0;
+    out.drift_suspected_clients = 0;
+    std::vector<double> all_confidences;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      const ClientState& st = states[c];
+      ClientModelHealth mh;
+      mh.client = c;
+      mh.windows = st.window_confidences.size();
+      mh.rows = st.rows_classified;
+      if (!st.window_confidences.empty()) {
+        mh.confidence_p50 = median_of(st.window_confidences);
+        mh.confidence_min = *std::min_element(st.window_confidences.begin(),
+                                              st.window_confidences.end());
+      }
+      if (!st.serving.empty()) {
+        for (const double d :
+             model_->drift_baseline().divergence(st.serving)) {
+          mh.drift_score = std::max(mh.drift_score, d);
+        }
+      }
+      mh.drift_suspected = options_.drift_threshold > 0.0 && mh.windows > 0 &&
+                           mh.drift_score >= options_.drift_threshold;
+      if (mh.drift_suspected) ++out.drift_suspected_clients;
+      out.drift_score = std::max(out.drift_score, mh.drift_score);
+      all_confidences.insert(all_confidences.end(),
+                             st.window_confidences.begin(),
+                             st.window_confidences.end());
+      out.model_health.push_back(mh);
+    }
+    out.confidence_p50 = median_of(std::move(all_confidences));
+  };
+
   // Generous termination backstop: the loop below always makes progress
   // (every tick consumes arrivals, drains queues, or trips a breaker), but
   // a hard cap turns any future regression into a truncated-run result
@@ -185,6 +313,11 @@ ServeResult Server::run(const pebs::Trace& trace) {
     bool rmc = false;
     std::uint64_t retries = 0;
     std::uint64_t backoff_cycles = 0;
+    // Model-health payload, merged serially after the fan-out.
+    bool has_confidence = false;
+    double confidence = 0.0;  ///< min row confidence in the window
+    std::uint64_t rows = 0;
+    ml::DriftBaseline drift;
   };
 
   std::uint64_t tick = 0;
@@ -362,12 +495,23 @@ ServeResult Server::run(const pebs::Trace& trace) {
         return;
       }
       if (!rows.empty()) {
-        for (const ml::Label label : model_->predict_batch(rows)) {
-          if (label == ml::Label::kRmc) slot.rmc = true;
+        slot.rows = rows.size();
+        if (drift_on) slot.drift.resize(num_features);
+        double confidence = 1.0;
+        for (const std::vector<double>& row : rows) {
+          const ml::Explanation exp = model_->predict_explained(row);
+          if (exp.label == ml::Label::kRmc) slot.rmc = true;
+          confidence = std::min(confidence, exp.confidence);
+          if (drift_on) model_->observe_drift(row, slot.drift);
         }
+        slot.confidence = confidence;
+        slot.has_confidence = true;
       }
     });
 
+    std::vector<double> tick_confidences;
+    std::uint64_t tick_windows = 0;
+    std::uint64_t tick_rmc = 0;
     for (std::uint32_t c = 0; c < clients; ++c) {
       const Slot& slot = slots[c];
       if (!slot.candidate) continue;
@@ -380,7 +524,36 @@ ServeResult Server::run(const pebs::Trace& trace) {
       }
       st.consecutive_faults = 0;
       ++st.stats.windows_classified;
-      if (slot.rmc) ++st.stats.windows_rmc;
+      ++tick_windows;
+      if (slot.rmc) {
+        ++st.stats.windows_rmc;
+        ++tick_rmc;
+      }
+      if (slot.has_confidence) {
+        st.window_confidences.push_back(slot.confidence);
+        tick_confidences.push_back(slot.confidence);
+        st.rows_classified += slot.rows;
+        if (drift_on) st.serving.merge(slot.drift);
+      }
+    }
+
+    if (tick_windows > 0) {
+      // One windowed-timeline row per classifying tick; the drift column is
+      // the running max across clients so the rendered timeline shows when
+      // serving traffic left the training distribution.
+      double drift_now = 0.0;
+      if (drift_on) {
+        for (const ClientState& st : states) {
+          if (st.serving.empty()) continue;
+          for (const double d :
+               model_->drift_baseline().divergence(st.serving)) {
+            drift_now = std::max(drift_now, d);
+          }
+        }
+      }
+      result.timeline.push_back(TimelineRow{tick, 1, tick_windows, tick_rmc,
+                                            median_of(tick_confidences),
+                                            drift_now});
     }
 
     result.ticks = tick + 1;
@@ -391,6 +564,7 @@ ServeResult Server::run(const pebs::Trace& trace) {
         states[c].stats.peak_depth = queues[c].peak();
         partial.clients.push_back(states[c].stats);
       }
+      fill_model_health(partial);
       obs::Span snap_span("serve.snapshot");
       partial.snapshot_json = render_snapshot(partial);
       util::write_versioned_artifact(options_.snapshot_path, "serve-snapshot",
@@ -420,6 +594,7 @@ ServeResult Server::run(const pebs::Trace& trace) {
     if (st.quarantined) ++result.quarantined_clients;
     result.clients.push_back(st);
   }
+  fill_model_health(result);
 
   auto& registry = obs::Registry::global();
   registry
@@ -479,6 +654,22 @@ ServeResult Server::run(const pebs::Trace& trace) {
       .gauge("drbw_serve_queue_depth_peak",
              "High-water mark across every client ingest queue")
       .set_max(static_cast<double>(peak));
+  if (model_ != nullptr) {
+    auto& confidence_hist = registry.histogram(
+        "drbw_model_confidence_bucket",
+        "Per-window classification confidence (leaf purity, percent)",
+        {50, 60, 70, 80, 90, 95, 100});
+    for (const ClientState& st : states) {
+      for (const double c : st.window_confidences) {
+        confidence_hist.observe(static_cast<std::uint64_t>(c * 100.0 + 0.5));
+      }
+    }
+    registry
+        .gauge("drbw_model_drift_score",
+               "Max per-feature PSI divergence of serving traffic from the "
+               "model's training baseline (0 when the model has none)")
+        .set_max(result.drift_score);
+  }
 
   if (!options_.snapshot_path.empty()) {
     obs::Span snap_span("serve.snapshot");

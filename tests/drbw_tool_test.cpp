@@ -4,10 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include "drbw/drbw.hpp"
+#include "drbw/serve/server.hpp"
+#include "drbw/util/artifact.hpp"
 
 namespace drbw {
 namespace {
@@ -301,6 +307,79 @@ TEST(DrBwCliExitCodeTest, BadFaultSpecExits64) {
   EXPECT_EQ(run_cli("record --inject-faults not-a-spec"), 64);
   EXPECT_EQ(run_cli("record --inject-faults trace.read:corrupt:2.0"), 64);
   EXPECT_EQ(run_cli("analyze --load-mode sometimes"), 64);
+}
+
+std::string cli_read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// `drbw explain` end to end: a recorded trace + trained model yield a
+/// deterministic `#drbw-explain v1` artifact and Markdown report — the
+/// explain stage and "explain" span both land in the run manifest.
+TEST(DrBwCliExplainTest, WritesDeterministicArtifactAndReport) {
+  const std::string dir =
+      ::testing::TempDir() + "/drbw_cli_explain_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ASSERT_EQ(run_cli("record --benchmark streamcluster --config T8-N4 --seed 7"
+                    " --out " + dir + "/trace.csv"),
+            0);
+  ASSERT_EQ(run_cli("train --out " + dir + "/model.json"), 0);
+  const std::string common = "explain --trace " + dir + "/trace.csv" +
+                             " --model " + dir + "/model.json --windows 4";
+  ASSERT_EQ(run_cli(common + " --out " + dir + "/a.json --report " + dir +
+                    "/a.md --jobs 1 --run-dir " + dir + "/run_a"),
+            0);
+  ASSERT_EQ(run_cli(common + " --out " + dir + "/b.json --report " + dir +
+                    "/b.md --jobs 4 --run-dir " + dir + "/run_b"),
+            0);
+  const std::string artifact = cli_read_file(dir + "/a.json");
+  EXPECT_EQ(artifact.rfind("#drbw-explain v1", 0), 0u);
+  EXPECT_NE(artifact.find("\"drbw_explain\": 1"), std::string::npos);
+  EXPECT_NE(artifact.find("\"paths\""), std::string::npos);
+  EXPECT_NE(artifact.find("\"attributions\""), std::string::npos);
+  EXPECT_NE(artifact.find("\"confidence_p50\""), std::string::npos);
+  // Byte-identical at any --jobs, report included.
+  EXPECT_EQ(artifact, cli_read_file(dir + "/b.json"));
+  const std::string report = cli_read_file(dir + "/a.md");
+  EXPECT_EQ(report, cli_read_file(dir + "/b.md"));
+  EXPECT_NE(report.find("## Decision paths"), std::string::npos);
+  EXPECT_NE(report.find("## Feature attribution"), std::string::npos);
+  // Provenance: the explain stage ran under the "explain" span.
+  const std::string manifest = cli_read_file(dir + "/run_a/run.json");
+  EXPECT_NE(manifest.find("\"subcommand\": \"explain\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"explain\""), std::string::npos);
+  EXPECT_NE(manifest.find("drbw_model_confidence_bucket"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DrBwCliExplainTest, StatsHintsServeSnapshotsToTheServeFlag) {
+  const std::string dir =
+      ::testing::TempDir() + "/drbw_cli_stats_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  // A minimal headered snapshot is enough to trigger the hint: plain stats
+  // must refuse it with usage (64) and point at --serve.
+  util::write_versioned_artifact(
+      dir + "/serve_snapshot.json", "serve-snapshot",
+      serve::kServeSnapshotVersion,
+      "{\n  \"drbw_serve_snapshot\": 2,\n  \"timeline\": []\n}\n");
+  EXPECT_EQ(run_cli("stats --trace " + dir + "/serve_snapshot.json"), 64);
+  EXPECT_EQ(run_cli("stats --serve --trace " + dir + "/serve_snapshot.json"),
+            0);
+  // Headerless snapshot bodies get the same hint via content sniffing.
+  {
+    std::ofstream out(dir + "/raw.json", std::ios::binary);
+    out << "{\n  \"drbw_serve_snapshot\": 2,\n  \"timeline\": []\n}\n";
+  }
+  EXPECT_EQ(run_cli("stats --trace " + dir + "/raw.json"), 64);
+  EXPECT_EQ(run_cli("stats --serve --trace " + dir + "/raw.json"), 0);
+  EXPECT_EQ(run_cli("explain --windows 0 --trace " + dir + "/raw.json"), 64);
+  std::filesystem::remove_all(dir);
 }
 #endif
 

@@ -1,9 +1,13 @@
 // Tests for the ML substrate: dataset/normalizer, CART training and
-// prediction, model persistence, confusion metrics, and stratified k-fold.
+// prediction, model persistence, explanation/drift observability, confusion
+// metrics, and stratified k-fold.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <numeric>
 
+#include "drbw/fault/injector.hpp"
 #include "drbw/ml/metrics.hpp"
 #include "drbw/util/rng.hpp"
 
@@ -186,6 +190,177 @@ TEST(DecisionTree, EmptyAndInvalidInputs) {
   EXPECT_THROW(DecisionTree::train(d, bad), Error);
   DecisionTree untrained;
   EXPECT_THROW(untrained.predict({1.0}), Error);
+}
+
+TEST(Explanation, PathMatchesPredictionAndTree) {
+  const Dataset d = xor_free_dataset();
+  const Classifier model = Classifier::train(d);
+  const Explanation e = model.predict_explained({0.9, 0.1});
+  EXPECT_EQ(e.label, Label::kRmc);
+  EXPECT_EQ(e.label, model.predict({0.9, 0.1}));
+  ASSERT_FALSE(e.path.empty());
+  // Every hop consults the one signal feature of the separable dataset.
+  for (const PathStep& step : e.path) EXPECT_EQ(step.feature, 0);
+  EXPECT_TRUE(
+      model.tree().nodes()[static_cast<std::size_t>(e.leaf)].is_leaf());
+}
+
+TEST(Explanation, ConfidenceIsLeafPurityInMajorityRange) {
+  const Dataset d = xor_free_dataset();
+  const Classifier model = Classifier::train(d);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Explanation e =
+        model.predict_explained({rng.uniform(), rng.uniform()});
+    EXPECT_GE(e.confidence, 0.5);
+    EXPECT_LE(e.confidence, 1.0);
+  }
+}
+
+TEST(Explanation, AttributionsSumToLeafMinusRootProbability) {
+  // The Saabas identity: P(rmc | leaf) = P(rmc | root) + sum(attributions).
+  const Dataset d = xor_free_dataset();
+  const Classifier model = Classifier::train(d);
+  const auto& nodes = model.tree().nodes();
+  const auto p_rmc = [&](int node) {
+    const auto& n = nodes[static_cast<std::size_t>(node)];
+    return static_cast<double>(n.rmc_count) / static_cast<double>(n.count);
+  };
+  const double p_root = p_rmc(0);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const Explanation e =
+        model.predict_explained({rng.uniform(), rng.uniform()});
+    ASSERT_EQ(e.attributions.size(), 2u);
+    const double p_leaf = p_rmc(e.leaf);
+    const double sum = std::accumulate(e.attributions.begin(),
+                                       e.attributions.end(), 0.0);
+    EXPECT_NEAR(p_root + sum, p_leaf, 1e-12);
+  }
+}
+
+TEST(Explanation, PathSignatureIsStable) {
+  Dataset pure({"a"});
+  for (int i = 0; i < 8; ++i) pure.add({1.0}, Label::kGood);
+  const Classifier lone = Classifier::train(pure);
+  EXPECT_EQ(lone.predict_explained({1.0}).path_signature(), "root");
+
+  const Classifier model = Classifier::train(xor_free_dataset());
+  const Explanation e = model.predict_explained({0.9, 0.1});
+  // "<feature><L|R>" per hop, space-joined — the explain report's group key.
+  std::string expect;
+  for (const PathStep& step : e.path) {
+    if (!expect.empty()) expect += ' ';
+    expect += std::to_string(step.feature) + (step.went_right ? "R" : "L");
+  }
+  EXPECT_EQ(e.path_signature(), expect);
+  EXPECT_EQ(e.path_signature(),
+            model.predict_explained({0.9, 0.5}).path_signature());
+}
+
+TEST(DriftBaseline, TrainingEmbedsBaselineAndRoundTrips) {
+  const Dataset d = xor_free_dataset();
+  const Classifier model = Classifier::train(d);
+  ASSERT_TRUE(model.has_drift_baseline());
+  EXPECT_EQ(model.drift_baseline().total, d.size());
+  const Classifier loaded = Classifier::from_json(model.to_json());
+  ASSERT_TRUE(loaded.has_drift_baseline());
+  EXPECT_EQ(loaded.drift_baseline().counts, model.drift_baseline().counts);
+  EXPECT_EQ(loaded.drift_baseline().total, model.drift_baseline().total);
+}
+
+TEST(DriftBaseline, DivergenceSeparatesInFromOutOfDistribution) {
+  const Dataset d = xor_free_dataset();
+  const Classifier model = Classifier::train(d);
+  DriftBaseline in_dist, shifted;
+  in_dist.resize(2);
+  shifted.resize(2);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    // In-distribution: the same bimodal signal the training set carries.
+    model.observe_drift({i % 2 == 0 ? rng.uniform(0.0, 0.4)
+                                    : rng.uniform(0.6, 1.0),
+                         rng.uniform()},
+                        in_dist);
+    // Shifted: all mass inside the training gap.
+    model.observe_drift({rng.uniform(0.45, 0.55), rng.uniform()}, shifted);
+  }
+  const auto quiet = model.drift_baseline().divergence(in_dist);
+  const auto loud = model.drift_baseline().divergence(shifted);
+  ASSERT_EQ(quiet.size(), 2u);
+  ASSERT_EQ(loud.size(), 2u);
+  EXPECT_LT(quiet[0], 1.0);
+  EXPECT_GT(loud[0], quiet[0] + 1.0);
+  // The noise feature stays uniform in both streams.
+  EXPECT_LT(loud[1], 1.0);
+}
+
+TEST(DriftBaseline, MergeIsCommutativeAndMatchesSerial) {
+  Rng rng(23);
+  DriftBaseline serial, a, b;
+  serial.resize(1);
+  a.resize(1);
+  b.resize(1);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform();
+    serial.observe({v});
+    (i % 2 == 0 ? a : b).observe({v});
+  }
+  DriftBaseline ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.counts, serial.counts);
+  EXPECT_EQ(ba.counts, serial.counts);
+  EXPECT_EQ(ab.total, serial.total);
+}
+
+TEST(DriftBaseline, EdgeBucketsAbsorbOutOfRangeValues) {
+  EXPECT_EQ(DriftBaseline::bucket_of(-5.0), 0u);
+  EXPECT_EQ(DriftBaseline::bucket_of(0.0), 0u);
+  EXPECT_EQ(DriftBaseline::bucket_of(1.0), DriftBaseline::kBuckets - 1);
+  EXPECT_EQ(DriftBaseline::bucket_of(42.0), DriftBaseline::kBuckets - 1);
+}
+
+TEST(DriftBaseline, InvalidEmbeddedBaselineDisablesDriftNotLoad) {
+  const Classifier model = Classifier::train(xor_free_dataset());
+  Json doc = model.to_json();
+  // Structurally broken baseline: feature arity no longer matches.
+  Json bad;
+  bad.set("buckets", Json(DriftBaseline::kBuckets));
+  bad.set("total", Json(static_cast<std::uint64_t>(7)));
+  bad.set("counts", Json(JsonArray{}));
+  doc.set("drift_baseline", std::move(bad));
+  const Classifier loaded = Classifier::from_json(doc);
+  EXPECT_FALSE(loaded.has_drift_baseline());
+  EXPECT_EQ(loaded.predict({0.9, 0.1}), model.predict({0.9, 0.1}));
+}
+
+TEST(DriftBaseline, CorruptFieldFaultYieldsEmptyBaseline) {
+  const Classifier model = Classifier::train(xor_free_dataset());
+  const Json doc = model.to_json();
+  fault::Injector::global().arm(
+      fault::Plan::parse("seed=1,model.drift:corrupt:1"));
+  const Classifier faulted = Classifier::from_json(doc);
+  fault::Injector::global().disarm();
+  // The fired model.drift fault disables drift; the model itself survives.
+  EXPECT_FALSE(faulted.has_drift_baseline());
+  EXPECT_EQ(faulted.predict({0.9, 0.1}), model.predict({0.9, 0.1}));
+  EXPECT_TRUE(Classifier::from_json(doc).has_drift_baseline());
+}
+
+TEST(DriftBaseline, V2DocumentLoadsWithDriftUnavailable) {
+  const Classifier model = Classifier::train(xor_free_dataset());
+  Json doc = model.to_json();
+  // A v2-era document simply lacks the key.
+  JsonObject& fields = doc.as_object();
+  fields.erase(std::remove_if(fields.begin(), fields.end(),
+                              [](const auto& field) {
+                                return field.first == "drift_baseline";
+                              }),
+               fields.end());
+  const Classifier loaded = Classifier::from_json(doc);
+  EXPECT_FALSE(loaded.has_drift_baseline());
+  EXPECT_EQ(loaded.predict({0.2, 0.5}), Label::kGood);
 }
 
 TEST(ConfusionMatrix, RatesMatchPaperDefinitions) {

@@ -36,7 +36,7 @@ TEST(ModelRoundTripTest, CommittedModelReserializesByteIdentical) {
   // Classifier::save writes the versioned artifact header, the JSON dump,
   // and a trailing newline; reproduce the exact bytes.
   const std::string body = model.to_json().dump() + "\n";
-  EXPECT_EQ(util::format_artifact_header("model", 2, body) + "\n" + body,
+  EXPECT_EQ(util::format_artifact_header("model", 3, body) + "\n" + body,
             committed)
       << "model serialization drifted from the committed artifact — if the "
          "format change is intentional, retrain/save and recommit "
@@ -47,7 +47,7 @@ TEST(ModelRoundTripTest, CommittedModelChecksumValidates) {
   // The committed artifact's own header must validate: a bad checksum here
   // means drbw_model.json was hand-edited without re-saving.
   util::LoadStats stats;
-  (void)util::read_versioned_artifact(kModelPath, "model", 2,
+  (void)util::read_versioned_artifact(kModelPath, "model", 3,
                                       util::LoadPolicy{}, &stats);
   EXPECT_TRUE(stats.checksum_ok);
 }
@@ -57,7 +57,7 @@ TEST(ModelRoundTripTest, ParseDumpFixpoint) {
   // round trip changes nothing.  Guards the serializer against asymmetries
   // the committed-file pin would miss (e.g. if the artifact were stale).
   const std::string body =
-      util::read_versioned_artifact(kModelPath, "model", 2, util::LoadPolicy{})
+      util::read_versioned_artifact(kModelPath, "model", 3, util::LoadPolicy{})
           .body;
   const std::string once = Json::parse(body).dump();
   EXPECT_EQ(Json::parse(once).dump(), once);

@@ -24,12 +24,14 @@
 // drbw_serve_samples_deferred_total, drbw_serve_samples_dropped_total,
 // drbw_serve_windows_classified_total, drbw_serve_windows_rmc_total,
 // drbw_serve_ticks_total, drbw_serve_faults_total, drbw_serve_retries_total,
-// drbw_serve_clients_quarantined_total, drbw_serve_queue_depth_peak; spans
+// drbw_serve_clients_quarantined_total, drbw_serve_queue_depth_peak,
+// drbw_model_confidence_bucket, drbw_model_drift_score; spans
 // serve.tick and serve.snapshot; fault sites serve.ingest, serve.session,
 // serve.window, serve.classify; stage serve.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -341,6 +343,79 @@ TEST(ServeLoopTest, ClassifiesWindowsWithAModel) {
 }
 
 // ---------------------------------------------------------------------------
+// Model observability: timeline, confidence, drift
+// ---------------------------------------------------------------------------
+
+TEST(ServeModelObsTest, SnapshotCarriesTimelineAndDriftSection) {
+  const Machine machine = Machine::xeon_e5_4650();
+  const pebs::Trace trace =
+      flat_trace(64, machine.cpus_of_node(1)[0], pebs::MemLevel::kRemoteDram);
+  const ml::Classifier model = always_rmc_model();
+  ASSERT_TRUE(model.has_drift_baseline());
+  serve::ServeOptions opts = one_client_options(serve::OverloadPolicy::kBlock);
+  opts.queue_depth = 64;
+  opts.min_window_samples = 1;
+  opts.min_remote_samples = 1;
+  serve::Server server(machine, &model, opts);
+  const serve::ServeResult r = server.run(trace);
+  EXPECT_TRUE(r.drift_available);
+  EXPECT_GT(r.confidence_p50, 0.0);
+  ASSERT_FALSE(r.timeline.empty());
+  EXPECT_EQ(r.timeline[0].windows, 1u);
+  EXPECT_NE(r.snapshot_json.find("\"timeline\": ["), std::string::npos);
+  EXPECT_NE(r.snapshot_json.find("\"drift\": {"), std::string::npos);
+  EXPECT_NE(r.snapshot_json.find("\"confidence_p50\""), std::string::npos);
+}
+
+TEST(ServeModelObsTest, ModellessRunsOmitDriftButKeepTheTimelineField) {
+  const Machine machine = Machine::xeon_e5_4650();
+  const pebs::Trace trace = flat_trace(64, 0, pebs::MemLevel::kLocalDram);
+  serve::Server server(machine, nullptr,
+                       one_client_options(serve::OverloadPolicy::kBlock));
+  const serve::ServeResult r = server.run(trace);
+  EXPECT_FALSE(r.drift_available);
+  EXPECT_EQ(r.drift_suspected_clients, 0u);
+  // The timeline key is always present (empty here — nothing classified),
+  // the drift section only when a baseline-carrying model served.
+  EXPECT_NE(r.snapshot_json.find("\"timeline\": []"), std::string::npos);
+  EXPECT_EQ(r.snapshot_json.find("\"drift\": {"), std::string::npos);
+}
+
+TEST(ServeModelObsTest, DriftThresholdFlagsDivergingClientsDeterministically) {
+  const Machine machine = Machine::xeon_e5_4650();
+  const pebs::Trace trace =
+      flat_trace(64, machine.cpus_of_node(1)[0], pebs::MemLevel::kRemoteDram);
+  // always_rmc_model's training distribution (4 synthetic rows) is nothing
+  // like the served stream, so the PSI score is large by construction.
+  const ml::Classifier model = always_rmc_model();
+  const auto run_with = [&](double threshold) {
+    serve::ServeOptions opts =
+        one_client_options(serve::OverloadPolicy::kBlock);
+    opts.queue_depth = 64;
+    opts.min_window_samples = 1;
+    opts.min_remote_samples = 1;
+    opts.drift_threshold = threshold;
+    serve::Server server(machine, &model, opts);
+    return server.run(trace);
+  };
+  const serve::ServeResult quiet = run_with(1e9);
+  EXPECT_TRUE(quiet.drift_available);
+  EXPECT_GT(quiet.drift_score, 0.0);
+  EXPECT_EQ(quiet.drift_suspected_clients, 0u);
+
+  const serve::ServeResult loud = run_with(0.001);
+  EXPECT_EQ(loud.drift_score, quiet.drift_score);  // score is threshold-free
+  EXPECT_EQ(loud.drift_suspected_clients, 1u);
+  ASSERT_EQ(loud.model_health.size(), 1u);
+  EXPECT_TRUE(loud.model_health[0].drift_suspected);
+  EXPECT_NE(loud.snapshot_json.find("\"suspected\": true"),
+            std::string::npos);
+
+  // Threshold 0 disables flagging entirely.
+  EXPECT_EQ(run_with(0.0).drift_suspected_clients, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Shutdown and snapshots
 // ---------------------------------------------------------------------------
 
@@ -530,7 +605,10 @@ TEST(ServeObsTest, EveryServeMetricAndSpanIsEmitted) {
       "drbw_serve_faults_total",
       "drbw_serve_retries_total",
       "drbw_serve_clients_quarantined_total",
-      "drbw_serve_queue_depth_peak"};
+      "drbw_serve_queue_depth_peak",
+      // Model observability (always_rmc_model carries a drift baseline).
+      "drbw_model_confidence_bucket",
+      "drbw_model_drift_score"};
   for (const char* name : kServeMetricNames) {
     EXPECT_NE(metrics.find(name), std::string::npos)
         << "metric '" << name << "' missing from the registry export";
@@ -631,9 +709,13 @@ TEST(ServeCliTest, MissingOrCorruptModelDegradesWithExitZero) {
   const std::string manifest = read_file(w.corpus + "/degraded/run.json");
   EXPECT_NE(manifest.find("\"degraded\": true"), std::string::npos);
   EXPECT_NE(manifest.find("\"status\": \"ok\""), std::string::npos);
+  // Degraded runs cannot measure drift: the manifest says so, the snapshot
+  // simply omits the drift section.
+  EXPECT_NE(manifest.find("\"drift\": \"unavailable\""), std::string::npos);
   const std::string snapshot =
       read_file(w.corpus + "/degraded/serve_snapshot.json");
   EXPECT_NE(snapshot.find("\"degraded\": true"), std::string::npos);
+  EXPECT_EQ(snapshot.find("\"drift\": {"), std::string::npos);
 
   // Corrupt model body: same contract, exercised end to end.
   const std::string corrupt = w.dir + "/corrupt_model.json";
@@ -645,8 +727,73 @@ TEST(ServeCliTest, MissingOrCorruptModelDegradesWithExitZero) {
   ASSERT_EQ(run_cli("serve --replay " + w.trace + " --clients 2 --model " +
                     corrupt + " --run-dir " + run),
             0);
-  EXPECT_NE(read_file(run + "/run.json").find("\"degraded\": true"),
+  const std::string corrupt_manifest = read_file(run + "/run.json");
+  EXPECT_NE(corrupt_manifest.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(corrupt_manifest.find("\"drift\": \"unavailable\""),
             std::string::npos);
+}
+
+TEST(ServeCliTest, V2ModelServesWithDriftCleanlyDisabled) {
+  const CliWorld& w = cli_world();
+  ASSERT_TRUE(w.ok) << "CLI fixture runs failed";
+  // A v2-era artifact: same tree, no embedded drift baseline.
+  Json doc = always_rmc_model().to_json();
+  JsonObject& fields = doc.as_object();
+  fields.erase(std::remove_if(fields.begin(), fields.end(),
+                              [](const auto& field) {
+                                return field.first == "drift_baseline";
+                              }),
+               fields.end());
+  const std::string v2_model = w.dir + "/v2_model.json";
+  util::write_versioned_artifact(v2_model, "model", 2, doc.dump() + "\n");
+  const std::string run = w.dir + "/v2_run";
+  ASSERT_EQ(run_cli("serve --replay " + w.trace + " --clients 2 --model " +
+                    v2_model + " --drift-threshold 5 --run-dir " + run),
+            0);
+  // Not degraded — the model classifies fine — but drift is unavailable:
+  // the manifest records it, the snapshot omits the section, and the
+  // classified timeline is still there.
+  const std::string manifest = read_file(run + "/run.json");
+  EXPECT_EQ(manifest.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(manifest.find("\"drift\": \"unavailable\""), std::string::npos);
+  const std::string snapshot = read_file(run + "/serve_snapshot.json");
+  EXPECT_EQ(snapshot.find("\"drift\": {"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"timeline\": ["), std::string::npos);
+
+  // doctor surfaces the gap with re-train advice.
+  const report::DoctorReport report = report::doctor(run);
+  bool saw_unavailable = false;
+  for (const report::Finding& f : report.findings) {
+    if (f.title.find("drift detection unavailable") != std::string::npos) {
+      saw_unavailable = true;
+      EXPECT_NE(f.advice.find("drbw train"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_unavailable) << render_doctor(report);
+}
+
+TEST(ServeCliTest, DriftThresholdRaisesDoctorVisibleFinding) {
+  const CliWorld& w = cli_world();
+  ASSERT_TRUE(w.ok) << "CLI fixture runs failed";
+  // always_rmc_model's synthetic baseline vs a real recorded stream: PSI is
+  // large, so a small threshold plants a deterministic DriftSuspected.
+  const std::string run = w.dir + "/drift_run";
+  ASSERT_EQ(run_cli("serve --replay " + w.trace + " --clients 2 --model " +
+                    w.model + " --drift-threshold 0.5 --run-dir " + run),
+            0);
+  const std::string manifest = read_file(run + "/run.json");
+  EXPECT_NE(manifest.find("\"drift\": \"suspected\""), std::string::npos);
+  const std::string snapshot = read_file(run + "/serve_snapshot.json");
+  EXPECT_NE(snapshot.find("\"suspected\": true"), std::string::npos);
+  const report::DoctorReport report = report::doctor(run);
+  bool saw_drift = false;
+  for (const report::Finding& f : report.findings) {
+    if (f.title.find("DriftSuspected") != std::string::npos) {
+      saw_drift = true;
+      EXPECT_NE(f.advice.find("--drift-threshold"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_drift) << render_doctor(report);
 }
 
 TEST(ServeCliTest, DoctorExplainsDegradedAndOverflowedRuns) {
@@ -712,16 +859,39 @@ TEST(ServeFleetTest, AggregatesServeRunsIntoTheServeSection) {
   EXPECT_NE(json.find("\"serve\":"), std::string::npos);
 }
 
+TEST(ServeFleetTest, AggregatesModelHealthAcrossServeRuns) {
+  const CliWorld& w = cli_world();
+  ASSERT_TRUE(w.ok) << "CLI fixture runs failed";
+  const report::FleetReport fleet =
+      report::fleet_scan(w.corpus, report::FleetOptions{});
+  // jobs1 + jobs4 served with a baseline-carrying model; degraded did not.
+  EXPECT_EQ(fleet.model_health_runs, 2u);
+  EXPECT_EQ(fleet.drift_unavailable_runs, 1u);
+  EXPECT_EQ(fleet.model_health.size(), 4u);  // 2 runs x 2 clients
+  ASSERT_TRUE(fleet.has_model_health);
+  EXPECT_GT(fleet.max_drift, 0.0);
+  EXPECT_FALSE(fleet.max_drift_dir.empty());
+  EXPECT_GE(fleet.min_confidence, 0.5);
+  const std::string markdown = report::render_fleet_markdown(fleet);
+  EXPECT_NE(markdown.find("## Model health"), std::string::npos);
+  EXPECT_NE(markdown.find("lowest confidence"), std::string::npos);
+  const std::string json = report::render_fleet_json(fleet);
+  EXPECT_NE(json.find("\"model_health\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max_drift\":"), std::string::npos);
+}
+
 TEST(ServeFleetTest, CorporaWithoutServeRunsRenderNoServeSection) {
   const CliWorld& w = cli_world();
   ASSERT_TRUE(w.ok) << "CLI fixture runs failed";
   const report::FleetReport fleet =
       report::fleet_scan(w.dir + "/record_corpus", report::FleetOptions{});
   EXPECT_EQ(fleet.serve_runs, 0u);
-  EXPECT_EQ(report::render_fleet_markdown(fleet).find("## Serve"),
-            std::string::npos);
-  EXPECT_EQ(report::render_fleet_json(fleet).find("\"serve\":"),
-            std::string::npos);
+  const std::string markdown = report::render_fleet_markdown(fleet);
+  EXPECT_EQ(markdown.find("## Serve"), std::string::npos);
+  EXPECT_EQ(markdown.find("## Model health"), std::string::npos);
+  const std::string json = report::render_fleet_json(fleet);
+  EXPECT_EQ(json.find("\"serve\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"model_health\":"), std::string::npos);
 }
 
 }  // namespace

@@ -25,11 +25,22 @@
 //       benchmark's layout from the trace's allocation events
 //       (bind-to-node-0 fallback for unknown ranges).
 //
+//   drbw explain  --trace trace.csv [--model model.json] [--windows N]
+//                 [--out explain.json] [--report FILE] [--jobs N]
+//       Model observability for a recorded trace: every windowed channel
+//       verdict comes back with its exact decision path through the tree,
+//       a leaf-purity confidence score, and Saabas-style per-feature
+//       attribution.  Writes a checksummed `#drbw-explain v1` JSON artifact
+//       (decision-path frequency and attribution aggregates included) and,
+//       with --report, a per-window Markdown report.  Byte-identical at any
+//       --jobs value.
+//
 //   drbw serve    --replay trace.csv [--model model.json] [--clients N]
 //                 [--queue-depth D] [--overload block|shed-oldest|reject]
 //                 [--window-cycles W] [--drain-rate R] [--max-cycles C]
 //                 [--max-retries K] [--breaker-threshold K]
-//                 [--snapshot-out FILE] [--snapshot-every N] [--jobs N]
+//                 [--snapshot-out FILE] [--snapshot-every N]
+//                 [--drift-threshold F] [--jobs N]
 //       Online contention detection: replay a recorded trace as N simulated
 //       client streams through bounded ingest queues, sliding-window
 //       featurization, and incremental classification.  Overload behaviour
@@ -38,6 +49,12 @@
 //       With a missing/corrupt --model the server degrades to pass-through
 //       telemetry and still exits 0 (the manifest records degraded=true).
 //       A checksummed serve_snapshot.json lands in --run-dir either way.
+//       Models saved at format v3 embed their training distribution; the
+//       server then measures per-client PSI drift against it, records a
+//       windowed contention timeline in the snapshot, and --drift-threshold
+//       F marks the run drift-suspected (typed, never fatal — the manifest
+//       records drift="suspected" and `drbw doctor` surfaces it).  Older
+//       models still serve with drift reported unavailable.
 //
 //   drbw convert  --in trace.csv --out trace.bin [--format csv|binary]
 //                 [--shards N] [--jobs N]
@@ -51,9 +68,11 @@
 //   drbw topology [--machine xeon|opteron]
 //       Print the machine description and channel table.
 //
-//   drbw stats    --trace obs_trace.json [--width N] [--top N]
+//   drbw stats    --trace obs_trace.json [--width N] [--top N] [--serve]
 //       Render the per-epoch channel-utilization ASCII timeline from a trace
-//       produced with --trace-out.
+//       produced with --trace-out.  With --serve the input is a
+//       serve_snapshot.json instead and the windowed contention timeline is
+//       rendered (classified-rmc fraction, confidence p50, drift score).
 //
 //   drbw doctor   [run-dir]
 //       Post-mortem: load the run manifest (run.json) and flight dump
@@ -104,6 +123,7 @@
 // subcommand, 66 missing input file, 67 parse error, 68 corrupt artifact,
 // 69 artifact version skew, 70 injected fault, 74 I/O error.
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -113,6 +133,7 @@
 
 #include "drbw/drbw.hpp"
 #include "drbw/fault/injector.hpp"
+#include "drbw/features/selected.hpp"
 #include "drbw/obs/flight_recorder.hpp"
 #include "drbw/obs/manifest.hpp"
 #include "drbw/obs/trace.hpp"
@@ -127,6 +148,7 @@
 #include "drbw/util/cli.hpp"
 #include "drbw/util/json.hpp"
 #include "drbw/util/strings.hpp"
+#include "drbw/util/task_pool.hpp"
 #include "drbw/util/table.hpp"
 #include "drbw/workloads/evaluation.hpp"
 #include "drbw/workloads/suite.hpp"
@@ -175,10 +197,10 @@ struct RunSession {
         "inject-faults",
         "deterministic fault spec: seed=N,site:kind:rate,... (sites: "
         "pebs.sample, engine.epoch, trace.read, trace.write, "
-        "trace.shard.read, trace.shard.write, model.write, artifact.write, "
-        "diagnose.cf, report.render, serve.ingest, serve.session, "
-        "serve.window, serve.classify; kinds: drop, corrupt, truncate, "
-        "malform, short-write, fail)",
+        "trace.shard.read, trace.shard.write, model.write, model.drift, "
+        "artifact.write, diagnose.cf, report.render, serve.ingest, "
+        "serve.session, serve.window, serve.classify; kinds: drop, corrupt, "
+        "truncate, malform, short-write, fail)",
         "");
     parser.add_option("run-dir",
                       "directory for the run manifest (run.json) and flight "
@@ -257,6 +279,22 @@ struct RunSession {
   /// Marks the run as degraded (completed in a reduced mode, e.g. serve
   /// without a usable model); recorded in the manifest's golden block.
   void set_degraded(bool degraded) { manifest_.degraded = degraded; }
+
+  /// Records serve's drift verdict ("ok" | "suspected" | "unavailable") in
+  /// the manifest's golden block — what `drbw doctor` and fleet read.
+  void set_drift(std::string verdict) { manifest_.drift = std::move(verdict); }
+
+  /// Records `drbw train`'s tree-shape provenance (node/leaf counts, depth,
+  /// per-feature split counts) in the manifest's golden block.
+  void set_model_shape(
+      std::size_t nodes, std::size_t leaves, int depth,
+      std::vector<std::pair<std::string, std::uint64_t>> splits) {
+    manifest_.has_model_shape = true;
+    manifest_.model_nodes = nodes;
+    manifest_.model_leaves = leaves;
+    manifest_.model_depth = static_cast<std::uint64_t>(depth);
+    manifest_.model_splits = std::move(splits);
+  }
 
   void set_load_stats(const util::LoadStats& stats) {
     manifest_.has_load_stats = true;
@@ -419,8 +457,27 @@ int cmd_train(int argc, char** argv) {
     session.stage("persist");
     model.save(parser.option("out"));
     session.note_output("model-out", parser.option("out"));
+    // Tree-shape provenance: printed, and recorded in the run manifest so a
+    // later `drbw doctor`/fleet pass can spot a degenerate train.
+    const ml::DecisionTree& tree = model.tree();
+    std::vector<std::pair<std::string, std::uint64_t>> splits;
+    std::ostringstream shape;
+    shape << "tree shape: " << tree.nodes().size() << " nodes, "
+          << tree.leaf_count() << " leaves, depth " << tree.depth()
+          << "; splits:";
+    for (const auto& [feature, count] : tree.split_counts()) {
+      // Short machine-readable keys ("remote_dram_count"), not the prose
+      // Table I names — these land in the manifest as JSON keys.
+      const std::string& name =
+          features::selected_feature_keys()[static_cast<std::size_t>(feature)];
+      splits.emplace_back(name, static_cast<std::uint64_t>(count));
+      shape << ' ' << name << " x" << count;
+    }
+    session.set_model_shape(tree.nodes().size(), tree.leaf_count(),
+                            tree.depth(), std::move(splits));
     std::cout << "trained on 192 mini-program runs; model written to "
-              << parser.option("out") << "\n\n"
+              << parser.option("out") << '\n'
+              << shape.str() << "\n\n"
               << model.describe();
     return session.finish(0);
   } catch (const Error& e) {
@@ -677,6 +734,323 @@ int cmd_analyze(int argc, char** argv) {
   }
 }
 
+/// Version of the `#drbw-explain` JSON artifact.
+constexpr int kExplainVersion = 1;
+
+/// Lower-median (nearest-rank) over an unsorted copy.
+double lower_median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[(values.size() - 1) / 2];
+}
+
+int cmd_explain(int argc, char** argv) {
+  ArgParser parser("drbw explain",
+                   "Explain per-window verdicts: decision paths, confidence, "
+                   "feature attribution");
+  parser.add_option("trace", "trace file from `drbw record`", "drbw_trace.csv");
+  parser.add_option("model", "trained model (empty = train now)", "");
+  parser.add_option("windows", "split the trace into N time windows", "8");
+  parser.add_option("out", "checksummed #drbw-explain JSON artifact path",
+                    "explain.json");
+  parser.add_option("report", "also write a per-window Markdown report here",
+                    "");
+  parser.add_option("load-mode",
+                    "strict (reject the first malformed record) | lenient "
+                    "(quarantine malformed records, escalate past "
+                    "--max-bad-fraction)",
+                    "strict");
+  parser.add_option("max-bad-fraction",
+                    "lenient only: tolerated quarantined/seen record "
+                    "fraction before the load fails as corrupt",
+                    "0.25");
+  parser.add_option("jobs",
+                    "parallel window explainers (0 = one per hardware "
+                    "thread); every artifact is byte-identical at any value",
+                    "1");
+  RunSession::add_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  RunSession session("explain", parser);
+  session.begin();
+  try {
+    session.stage("load");
+    util::LoadPolicy policy;
+    try {
+      policy = util::load_policy_from_name(
+          parser.option("load-mode"), parser.option_double("max-bad-fraction"));
+    } catch (const Error& e) {
+      throw UsageError(std::string("--load-mode: ") + e.what());
+    }
+    const long long windows_opt = parser.option_int("windows");
+    if (windows_opt < 1) {
+      throw UsageError("--windows must be >= 1, got '" +
+                       parser.option("windows") + "'");
+    }
+    const std::size_t windows = static_cast<std::size_t>(windows_opt);
+    pebs::LoadOptions load;
+    load.policy = policy;
+    load.jobs = static_cast<int>(parser.option_int("jobs"));
+    util::require_input_file(parser.option("trace"), "trace file");
+    if (!parser.option("model").empty()) {
+      util::require_input_file(parser.option("model"), "model file");
+    }
+    const std::vector<std::string> trace_files =
+        pebs::trace_artifact_paths(parser.option("trace"));
+    session.note_input("trace-in", trace_files.front());
+    for (std::size_t i = 1; i < trace_files.size(); ++i) {
+      session.note_input("trace-shard-in", trace_files[i]);
+    }
+    util::LoadStats load_stats;
+    pebs::Trace trace;
+    try {
+      trace = pebs::load_trace(parser.option("trace"), load, &load_stats);
+    } catch (...) {
+      session.set_load_stats(load_stats);
+      throw;
+    }
+    session.set_load_stats(load_stats);
+
+    const auto machine = topology::Machine::xeon_e5_4650();
+    const ml::Classifier model =
+        parser.option("model").empty()
+            ? workloads::train_default_classifier(machine)
+            : ml::Classifier::load(parser.option("model"), policy);
+    if (!parser.option("model").empty()) {
+      session.note_input("model-in", parser.option("model"));
+    }
+
+    session.stage("explain");
+    // Bucket the samples into cycle windows (analyze's windowing), then
+    // explain each window's channels in an indexed fan-out; everything below
+    // aggregates in window order, so every artifact is golden at any --jobs.
+    std::uint64_t last_cycle = 0;
+    for (const auto& s : trace.samples) {
+      last_cycle = std::max(last_cycle, s.cycle);
+    }
+    const std::uint64_t window_cycles = std::max<std::uint64_t>(
+        1, last_cycle / static_cast<std::uint64_t>(windows) + 1);
+    std::vector<std::vector<pebs::MemorySample>> buckets(windows);
+    for (const auto& s : trace.samples) {
+      buckets[std::min<std::size_t>(windows - 1, s.cycle / window_cycles)]
+          .push_back(s);
+    }
+    TraceLocator locator(trace.events);
+    struct Verdict {
+      std::string channel;
+      ml::Explanation exp;
+    };
+    struct WindowSlot {
+      std::vector<Verdict> verdicts;
+    };
+    std::vector<WindowSlot> slots(windows);
+    {
+      obs::Span explain_span("explain");
+      util::TaskPool pool(static_cast<int>(parser.option_int("jobs")));
+      pool.parallel_for(windows, [&](std::size_t w) {
+        if (buckets[w].empty()) return;
+        core::Profiler profiler(machine, locator);
+        const core::ProfileResult profile =
+            profiler.profile(trace.events, buckets[w]);
+        for (const features::ChannelFeatures& ch :
+             features::extract_channels(profile, machine)) {
+          // The serve loop's sparse-window guards: a nearly-empty channel
+          // scope yields all-zero features whose "verdict" explains nothing.
+          if (ch.features.scope_samples < 8) continue;
+          if (ch.features.values[5] < 2.0) continue;
+          slots[w].verdicts.push_back(Verdict{
+              machine.channel_name(ch.channel),
+              model.predict_explained(ch.features.as_row())});
+        }
+      });
+    }
+
+    // Serial aggregation: per-window verdict rows, decision-path frequency,
+    // and per-feature attribution sums.
+    const std::array<std::string, features::kNumSelected>& keys =
+        features::selected_feature_keys();
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> paths;
+    std::vector<double> attr_sum(model.feature_names().size(), 0.0);
+    std::vector<double> attr_abs(model.feature_names().size(), 0.0);
+    std::vector<double> confidences;
+    std::uint64_t rows = 0, rmc_rows = 0;
+    std::uint64_t windows_explained = 0, windows_rmc = 0;
+    auto& conf_hist = obs::Registry::global().histogram(
+        "drbw_model_confidence_bucket",
+        "Per-window classification confidence (leaf purity, percent)",
+        {50, 60, 70, 80, 90, 95, 100});
+    for (const WindowSlot& slot : slots) {
+      if (slot.verdicts.empty()) continue;
+      ++windows_explained;
+      bool window_rmc = false;
+      for (const Verdict& v : slot.verdicts) {
+        ++rows;
+        const bool is_rmc = v.exp.label == ml::Label::kRmc;
+        if (is_rmc) {
+          ++rmc_rows;
+          window_rmc = true;
+        }
+        confidences.push_back(v.exp.confidence);
+        conf_hist.observe(
+            static_cast<std::uint64_t>(v.exp.confidence * 100.0 + 0.5));
+        auto& tally = paths[v.exp.path_signature()];
+        ++tally.first;
+        if (is_rmc) ++tally.second;
+        for (std::size_t f = 0; f < v.exp.attributions.size(); ++f) {
+          attr_sum[f] += v.exp.attributions[f];
+          attr_abs[f] += std::abs(v.exp.attributions[f]);
+        }
+      }
+      if (window_rmc) ++windows_rmc;
+    }
+    const double confidence_p50 = lower_median(confidences);
+    const double confidence_min =
+        confidences.empty()
+            ? 0.0
+            : *std::min_element(confidences.begin(), confidences.end());
+
+    // The `#drbw-explain v1` artifact: golden-vs-context split like the
+    // manifest, but nothing here depends on --jobs, so the whole document
+    // (and its header checksum) is byte-identical at any value.
+    Json golden = JsonObject{};
+    Json summary = JsonObject{};
+    summary.set("windows", windows);
+    summary.set("windows_explained", windows_explained);
+    summary.set("windows_rmc", windows_rmc);
+    summary.set("rows", rows);
+    summary.set("rmc_rows", rmc_rows);
+    summary.set("confidence_p50", confidence_p50);
+    summary.set("confidence_min", confidence_min);
+    golden.set("summary", std::move(summary));
+    Json window_list = JsonArray{};
+    for (std::size_t w = 0; w < windows; ++w) {
+      Json entry = JsonObject{};
+      entry.set("window", w);
+      entry.set("start", w * window_cycles);
+      entry.set("end", std::min<std::uint64_t>(last_cycle + 1,
+                                               (w + 1) * window_cycles));
+      entry.set("samples", buckets[w].size());
+      Json verdicts = JsonArray{};
+      for (const Verdict& v : slots[w].verdicts) {
+        Json row = JsonObject{};
+        row.set("channel", v.channel);
+        row.set("label", v.exp.label == ml::Label::kRmc ? "rmc" : "good");
+        row.set("confidence", v.exp.confidence);
+        row.set("path", v.exp.path_signature());
+        row.set("leaf", v.exp.leaf);
+        verdicts.push_back(std::move(row));
+      }
+      entry.set("verdicts", std::move(verdicts));
+      window_list.push_back(std::move(entry));
+    }
+    golden.set("windows", std::move(window_list));
+    // Path frequency: most common first, signature as the tie-break.
+    std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+        ranked(paths.begin(), paths.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.second.first != b.second.first) {
+                         return a.second.first > b.second.first;
+                       }
+                       return a.first < b.first;
+                     });
+    Json path_list = JsonArray{};
+    for (const auto& [signature, tally] : ranked) {
+      Json entry = JsonObject{};
+      entry.set("signature", signature);
+      entry.set("count", tally.first);
+      entry.set("rmc", tally.second);
+      path_list.push_back(std::move(entry));
+    }
+    golden.set("paths", std::move(path_list));
+    Json attribution_list = JsonArray{};
+    for (std::size_t f = 0; f < attr_sum.size(); ++f) {
+      Json entry = JsonObject{};
+      entry.set("feature", f < keys.size() ? keys[f]
+                                           : model.feature_names()[f]);
+      entry.set("mean", rows > 0 ? attr_sum[f] / static_cast<double>(rows)
+                                 : 0.0);
+      entry.set("mean_abs",
+                rows > 0 ? attr_abs[f] / static_cast<double>(rows) : 0.0);
+      attribution_list.push_back(std::move(entry));
+    }
+    golden.set("attributions", std::move(attribution_list));
+    Json context = JsonObject{};
+    context.set("trace", parser.option("trace"));
+    context.set("model", parser.option("model").empty()
+                             ? "(trained in-process)"
+                             : parser.option("model"));
+    Json doc = JsonObject{};
+    doc.set("drbw_explain", kExplainVersion);
+    doc.set("golden", std::move(golden));
+    doc.set("context", std::move(context));
+
+    session.stage("persist");
+    util::write_versioned_artifact(parser.option("out"), "explain",
+                                   kExplainVersion, doc.dump(2) + "\n");
+    session.note_output("explain-out", parser.option("out"));
+
+    if (!parser.option("report").empty()) {
+      std::ostringstream md;
+      md << "# DR-BW explain report\n\n`" << parser.option("trace") << "` vs "
+         << (parser.option("model").empty()
+                 ? std::string("an in-process model")
+                 : "`" + parser.option("model") + "`")
+         << ": " << windows_explained << " of " << windows
+         << " window(s) explained, " << rows << " channel verdict(s) ("
+         << rmc_rows << " rmc), confidence p50 "
+         << format_fixed(confidence_p50, 3) << ", min "
+         << format_fixed(confidence_min, 3) << "\n";
+      md << "\n## Decision paths\n\n| path | count | rmc |\n|---|---:|---:|\n";
+      for (const auto& [signature, tally] : ranked) {
+        md << "| `" << signature << "` | " << tally.first << " | "
+           << tally.second << " |\n";
+      }
+      md << "\n## Feature attribution (mean delta-P(rmc) per verdict)\n\n"
+            "| feature | mean | mean abs |\n|---|---:|---:|\n";
+      for (std::size_t f = 0; f < attr_sum.size(); ++f) {
+        const double denom = rows > 0 ? static_cast<double>(rows) : 1.0;
+        md << "| " << (f < keys.size() ? keys[f] : model.feature_names()[f])
+           << " | " << format_fixed(attr_sum[f] / denom, 4) << " | "
+           << format_fixed(attr_abs[f] / denom, 4) << " |\n";
+      }
+      md << "\n## Windows\n";
+      for (std::size_t w = 0; w < windows; ++w) {
+        md << "\n### window " << w << " [" << w * window_cycles << ", "
+           << std::min<std::uint64_t>(last_cycle + 1, (w + 1) * window_cycles)
+           << ") — " << buckets[w].size() << " sample(s)\n\n";
+        if (slots[w].verdicts.empty()) {
+          md << "no explainable channel (sparse window)\n";
+          continue;
+        }
+        md << "| channel | verdict | confidence | path |\n"
+              "|---|---|---:|---|\n";
+        for (const Verdict& v : slots[w].verdicts) {
+          md << "| " << v.channel << " | "
+             << (v.exp.label == ml::Label::kRmc ? "RMC" : "good") << " | "
+             << format_fixed(v.exp.confidence, 3) << " | `"
+             << v.exp.path_signature() << "` |\n";
+        }
+      }
+      report::write_file(parser.option("report"), md.str());
+      session.note_output("report-out", parser.option("report"));
+      std::cout << "report written to " << parser.option("report") << '\n';
+    }
+
+    std::cout << "explained " << rows << " channel verdict(s) across "
+              << windows_explained << " of " << windows << " window(s): "
+              << rmc_rows << " rmc, " << paths.size()
+              << " distinct decision path(s), confidence p50 "
+              << format_fixed(confidence_p50, 3) << '\n';
+    std::cout << "explain artifact written to " << parser.option("out")
+              << '\n';
+    return session.finish(0);
+  } catch (const Error& e) {
+    return session.fail(e);
+  } catch (const std::exception& e) {
+    return session.fail(Error(e.what()));
+  }
+}
+
 int cmd_serve(int argc, char** argv) {
   ArgParser parser("drbw serve",
                    "Replay a recorded trace through the online serving loop");
@@ -723,6 +1097,12 @@ int cmd_serve(int argc, char** argv) {
                     "");
   parser.add_option("snapshot-every",
                     "rewrite the snapshot every N ticks (0 = final only)",
+                    "0");
+  parser.add_option("drift-threshold",
+                    "mark the run drift-suspected when any client's PSI "
+                    "divergence from the model's training baseline reaches "
+                    "F (0 = never flag; needs a baseline-carrying v3 model; "
+                    "typed, never fatal)",
                     "0");
   parser.add_option("load-mode",
                     "strict (reject the first malformed record) | lenient "
@@ -785,6 +1165,11 @@ int cmd_serve(int argc, char** argv) {
         std::max<long long>(1, parser.option_int("breaker-threshold")));
     opts.snapshot_every =
         static_cast<std::uint64_t>(parser.option_int("snapshot-every"));
+    opts.drift_threshold = parser.option_double("drift-threshold");
+    if (opts.drift_threshold < 0.0) {
+      throw UsageError("--drift-threshold must be >= 0, got '" +
+                       parser.option("drift-threshold") + "'");
+    }
     opts.jobs = static_cast<int>(parser.option_int("jobs"));
     std::string run_dir = parser.option("run-dir");
     if (run_dir.empty()) run_dir = ".";
@@ -849,6 +1234,30 @@ int cmd_serve(int argc, char** argv) {
     if (result.degraded) {
       std::cout << "DEGRADED: no usable model; classification skipped\n";
     }
+    // Model observability: the drift verdict goes to the manifest's golden
+    // block ("ok" | "suspected" | "unavailable") so doctor and fleet can
+    // read it without the snapshot.  Suspected drift never changes the exit
+    // code — serve is a telemetry loop, the finding is typed, not fatal.
+    if (result.drift_available) {
+      session.set_drift(result.drift_suspected_clients > 0 ? "suspected"
+                                                           : "ok");
+      std::cout << "model health: confidence p50 "
+                << format_fixed(result.confidence_p50, 3) << ", max drift "
+                << format_fixed(result.drift_score, 3);
+      if (result.drift_suspected_clients > 0) {
+        std::cout << " — DRIFT SUSPECTED (" << result.drift_suspected_clients
+                  << " client(s) at or past --drift-threshold "
+                  << format_fixed(result.drift_threshold, 3) << ")";
+      }
+      std::cout << '\n';
+    } else {
+      session.set_drift("unavailable");
+      if (!result.degraded) {
+        std::cout << "drift detection unavailable: the model carries no "
+                     "training baseline (re-save it with this build's "
+                     "`drbw train` to enable)\n";
+      }
+    }
     if (!result.drained) {
       std::cout << "replay cut short at --max-cycles "
                 << opts.max_cycles << "; remaining samples dropped\n";
@@ -875,18 +1284,113 @@ const Json* find_member(const JsonObject& object, const std::string& key) {
   return nullptr;
 }
 
+/// `drbw stats --serve`: render the windowed contention timeline a v2 serve
+/// snapshot carries.  Accepts the checksummed artifact (validated) or a raw
+/// snapshot body.
+int stats_serve(const ArgParser& parser) {
+  const std::string path = parser.option("trace");
+  util::require_input_file(path, "serve snapshot");
+  std::string body = util::read_file_or_throw(path, "serve snapshot");
+  if (body.rfind("#drbw-serve-snapshot", 0) == 0) {
+    body = util::read_versioned_artifact(path, "serve-snapshot",
+                                         serve::kServeSnapshotVersion,
+                                         util::LoadPolicy{})
+               .body;
+  }
+  const Json root = Json::parse(body);
+  const JsonObject& fields = root.as_object();
+  const Json* version = find_member(fields, "drbw_serve_snapshot");
+  if (version == nullptr) {
+    throw Error(path + ": not a serve snapshot (no drbw_serve_snapshot "
+                       "field); `drbw serve` writes one at --snapshot-out",
+                ErrorCode::kParse);
+  }
+  const Json* timeline = find_member(fields, "timeline");
+  if (timeline == nullptr || !timeline->is_array() ||
+      timeline->as_array().empty()) {
+    std::cout << "no contention timeline in " << path << " (v"
+              << static_cast<long long>(version->as_number())
+              << " snapshot; either it predates v2 or no window was "
+                 "classified)\n";
+    return 0;
+  }
+  std::vector<std::pair<double, double>> rmc_series;
+  std::vector<std::pair<double, double>> conf_series;
+  std::vector<std::pair<double, double>> drift_series;
+  std::uint64_t windows = 0, rmc = 0;
+  double max_drift = 0.0;
+  for (const Json& row : timeline->as_array()) {
+    const JsonObject& r = row.as_object();
+    const auto num = [&](const char* key) {
+      const Json* node = find_member(r, key);
+      return node != nullptr ? node->as_number() : 0.0;
+    };
+    const double tick = num("tick");
+    const double row_windows = num("windows");
+    const double row_rmc = num("rmc");
+    windows += static_cast<std::uint64_t>(row_windows);
+    rmc += static_cast<std::uint64_t>(row_rmc);
+    rmc_series.emplace_back(tick,
+                            row_windows > 0.0 ? row_rmc / row_windows : 0.0);
+    conf_series.emplace_back(tick, num("confidence_p50"));
+    const double drift = num("drift");
+    max_drift = std::max(max_drift, drift);
+    // PSI divergence is unbounded; the chart wants [0, 1], so the row is
+    // capped for display and the true max printed below.
+    drift_series.emplace_back(tick, std::min(1.0, drift));
+  }
+  TimelineChart chart(static_cast<int>(parser.option_int("width")));
+  chart.add_series("rmc fraction", rmc_series);
+  chart.add_series("confidence p50", conf_series);
+  chart.add_series("drift (cap 1)", drift_series);
+  std::cout << "windowed contention timeline ("
+            << timeline->as_array().size() << " row(s), " << windows
+            << " classified window(s), " << rmc << " contended)\n\n"
+            << chart.render();
+  if (const Json* drift = find_member(fields, "drift")) {
+    const JsonObject& d = drift->as_object();
+    const auto num = [&](const char* key) {
+      const Json* node = find_member(d, key);
+      return node != nullptr ? node->as_number() : 0.0;
+    };
+    std::cout << "\ndrift: max score " << format_fixed(num("score"), 3)
+              << " (threshold " << format_fixed(num("threshold"), 3) << "), "
+              << static_cast<std::uint64_t>(num("suspected_clients"))
+              << " client(s) suspected, confidence p50 "
+              << format_fixed(num("confidence_p50"), 3) << '\n';
+  } else {
+    std::cout << "\ndrift: unavailable (degraded run, or the model carries "
+                 "no training baseline)\n";
+  }
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   ArgParser parser("drbw stats",
                    "Render the per-epoch channel-utilization timeline from a "
-                   "trace file written with --trace-out");
-  parser.add_option("trace", "trace_event JSON from --trace-out",
+                   "trace file written with --trace-out (or, with --serve, "
+                   "the contention timeline of a serve snapshot)");
+  parser.add_option("trace",
+                    "trace_event JSON from --trace-out (with --serve: a "
+                    "serve_snapshot.json)",
                     "obs_trace.json");
   parser.add_option("width", "timeline width in columns", "64");
   parser.add_option("top", "show only the N busiest channels (0 = all)", "0");
+  parser.add_flag("serve",
+                  "treat --trace as a serve snapshot and render its windowed "
+                  "contention timeline");
   if (!parser.parse(argc, argv)) return 0;
+  if (parser.flag("serve")) return stats_serve(parser);
 
-  const Json root = Json::parse(
-      util::read_file_or_throw(parser.option("trace"), "trace file"));
+  const std::string content =
+      util::read_file_or_throw(parser.option("trace"), "trace file");
+  if (content.rfind("#drbw-serve-snapshot", 0) == 0) {
+    throw UsageError("drbw stats: '" + parser.option("trace") +
+                     "' is a serve snapshot, not a trace_event file — did "
+                     "you mean `drbw stats --serve --trace " +
+                     parser.option("trace") + "`?");
+  }
+  const Json root = Json::parse(content);
 
   // Per-channel (epoch-start-cycle, utilization) series from the engine's
   // per-epoch "epoch" counter events.  Any other event kinds are skipped, so
@@ -894,7 +1398,15 @@ int cmd_stats(int argc, char** argv) {
   std::map<std::string, std::vector<std::pair<double, double>>> series;
   std::size_t epochs = 0;
   const Json* events = find_member(root.as_object(), "traceEvents");
-  if (events == nullptr) throw Error("not a trace_event file: no traceEvents");
+  if (events == nullptr) {
+    if (find_member(root.as_object(), "drbw_serve_snapshot") != nullptr) {
+      throw UsageError("drbw stats: '" + parser.option("trace") +
+                       "' is a serve snapshot, not a trace_event file — did "
+                       "you mean `drbw stats --serve --trace " +
+                       parser.option("trace") + "`?");
+    }
+    throw Error("not a trace_event file: no traceEvents");
+  }
   for (const Json& event : events->as_array()) {
     const JsonObject& fields = event.as_object();
     const Json* name = find_member(fields, "name");
@@ -1355,8 +1867,8 @@ int cmd_flame(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: drbw <train|record|analyze|serve|convert|inspect|topology|"
-      "stats|doctor|fleet|flame> [options]\n"
+      "usage: drbw <train|record|analyze|explain|serve|convert|inspect|"
+      "topology|stats|doctor|fleet|flame> [options]\n"
       "       drbw perf diff <baseline/run.json> <after/run.json>...\n"
       "       drbw <subcommand> --help for details\n";
   if (argc < 2) {
@@ -1368,6 +1880,7 @@ int main(int argc, char** argv) {
     if (sub == "train") return cmd_train(argc - 1, argv + 1);
     if (sub == "record") return cmd_record(argc - 1, argv + 1);
     if (sub == "analyze") return cmd_analyze(argc - 1, argv + 1);
+    if (sub == "explain") return cmd_explain(argc - 1, argv + 1);
     if (sub == "serve") return cmd_serve(argc - 1, argv + 1);
     if (sub == "convert") return cmd_convert(argc - 1, argv + 1);
     if (sub == "inspect") return cmd_inspect(argc - 1, argv + 1);
